@@ -1,0 +1,47 @@
+// Taskfarm: dynamic load balancing over shared virtual memory. Six cores
+// pull unevenly sized tasks from one shared queue protected by an SVM
+// lock; results land in shared slots and rank 0 reduces them — no explicit
+// message passing anywhere, which is the programming-model point the paper
+// opens with.
+//
+//	go run ./examples/taskfarm
+package main
+
+import (
+	"fmt"
+
+	"metalsvm/internal/apps/taskfarm"
+	"metalsvm/internal/core"
+	"metalsvm/internal/svm"
+)
+
+func main() {
+	scfg := svm.DefaultConfig(svm.LazyRelease)
+	m, err := core.NewMachine(core.Options{
+		SVM:     &scfg,
+		Members: core.FirstN(6),
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	p := taskfarm.Params{Tasks: 96, UnitCycles: 5000, LockID: 11}
+	app := taskfarm.New(p)
+	m.RunAll(func(env *core.Env) { app.Main(env.SVM) })
+	r := app.Result()
+
+	fmt.Printf("%d uneven tasks farmed over 6 cores in %.2f ms simulated:\n\n",
+		p.Tasks, r.Elapsed.Microseconds()/1000)
+	for rank, n := range r.PerCore {
+		bar := make([]byte, n)
+		for i := range bar {
+			bar[i] = '#'
+		}
+		fmt.Printf("  core %d: %3d tasks %s\n", rank, n, bar)
+	}
+	fmt.Printf("\nresult sum: %#x (expected %#x)\n", r.Sum, p.Expected())
+	if r.Sum != p.Expected() {
+		panic("tasks lost or duplicated")
+	}
+	fmt.Println("every task ran exactly once; early cores picked up the slack.")
+}

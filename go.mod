@@ -1,0 +1,3 @@
+module metalsvm
+
+go 1.22

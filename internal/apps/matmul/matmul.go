@@ -1,0 +1,214 @@
+// Package matmul implements a dense matrix multiplication C = A x B on the
+// MetalSVM shared virtual memory system — the second application class the
+// paper's programming model targets (embarrassingly row-parallel compute
+// over shared read-mostly inputs).
+//
+// It deliberately exercises Section 6.4's read-only regions: after the
+// collective initialization, A and B are protected read-only, which clears
+// their MPBT page type and re-enables the L2 cache for exactly the data
+// that dominates the read traffic. C stays writable (MPBT + write-combine
+// buffer). The Protected option turns this off so the benefit is
+// measurable (see BenchmarkAblationMatmulReadOnly).
+package matmul
+
+import (
+	"fmt"
+
+	"metalsvm/internal/sim"
+	"metalsvm/internal/svm"
+)
+
+// Params describes one multiplication.
+type Params struct {
+	// N is the (square) matrix dimension.
+	N int
+	// Protected selects whether A and B are protected read-only after
+	// initialization (the paper's §6.4 optimization).
+	Protected bool
+}
+
+// Validate checks the geometry.
+func (p Params) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("matmul: dimension %d too small", p.N)
+	}
+	return nil
+}
+
+// Bytes returns the byte size of one matrix.
+func (p Params) Bytes() uint32 { return uint32(p.N * p.N * 8) }
+
+// Reference computes C = A x B in plain Go for the synthetic inputs.
+func Reference(p Params) []float64 {
+	n := p.N
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	fillInputs(p, a, b)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			for j := 0; j < n; j++ {
+				c[i*n+j] += aik * b[k*n+j]
+			}
+		}
+	}
+	return c
+}
+
+// fillInputs writes the deterministic synthetic inputs: A is a banded
+// matrix, B a permutation-ish pattern — enough structure that indexing
+// bugs change the result.
+func fillInputs(p Params, a, b []float64) {
+	n := p.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = float64((i+2*j)%7) * 0.25
+			b[i*n+j] = float64((3*i+j)%5) * 0.5
+		}
+	}
+}
+
+// Result of one run.
+type Result struct {
+	// Elapsed is the longest per-core busy time of the multiply phase.
+	Elapsed sim.Duration
+	// Checksum sums C in row order (bit-comparable to the reference).
+	Checksum float64
+}
+
+// App is one shared-memory matmul run. Create host-side, call Main from
+// every kernel, read Result afterwards.
+type App struct {
+	p Params
+
+	grid    []float64
+	elapsed []sim.Duration
+	ranks   int
+	arrived int
+}
+
+// New prepares a run.
+func New(p Params) *App {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &App{p: p}
+}
+
+// rowRange splits the N rows over ranks.
+func (a *App) rowRange(rank, ranks int) (lo, hi int) {
+	base, rem := a.p.N/ranks, a.p.N%ranks
+	lo = rank*base + min(rank, rem)
+	hi = lo + base
+	if rank < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(x, y int) int {
+	if x < y {
+		return x
+	}
+	return y
+}
+
+// Main is the per-kernel body.
+func (a *App) Main(h *svm.Handle) {
+	p := a.p
+	n := p.N
+	k := h.Kernel()
+	c := k.Core()
+	ranks := len(k.Members())
+	rank := k.Index()
+	if a.grid == nil {
+		a.grid = make([]float64, n*n)
+		a.elapsed = make([]sim.Duration, ranks)
+		a.ranks = ranks
+	}
+
+	aBase := h.Alloc(p.Bytes())
+	bBase := h.Alloc(p.Bytes())
+	cBase := h.Alloc(p.Bytes())
+	at := func(base uint32, i, j int) uint32 { return base + uint32(i*n+j)*8 }
+
+	// First-touch initialization with the computation's pattern: each rank
+	// initializes its A rows and C rows; B is read by everyone, so spread
+	// its rows the same way (the multiply streams all of B through every
+	// core regardless).
+	lo, hi := a.rowRange(rank, ranks)
+	hostA := make([]float64, n*n)
+	hostB := make([]float64, n*n)
+	fillInputs(p, hostA, hostB)
+	for i := lo; i < hi; i++ {
+		for j := 0; j < n; j++ {
+			c.StoreF64(at(aBase, i, j), hostA[i*n+j])
+			c.StoreF64(at(bBase, i, j), hostB[i*n+j])
+			c.StoreF64(at(cBase, i, j), 0)
+		}
+	}
+	h.Barrier()
+
+	// The §6.4 step: inputs become read-only — writes trap, and the pages
+	// lose their MPBT type, so the L2 serves the multiply's read traffic.
+	if p.Protected {
+		h.ProtectReadOnly(aBase, p.Bytes())
+		h.ProtectReadOnly(bBase, p.Bytes())
+	}
+
+	start := c.Proc().LocalTime()
+	acc := make([]float64, n) // models the row accumulator on the stack
+	for i := lo; i < hi; i++ {
+		for j := range acc {
+			acc[j] = 0
+		}
+		for kk := 0; kk < n; kk++ {
+			aik := c.LoadF64(at(aBase, i, kk))
+			for j := 0; j < n; j++ {
+				acc[j] += aik * c.LoadF64(at(bBase, kk, j))
+			}
+		}
+		for j := 0; j < n; j++ {
+			c.StoreF64(at(cBase, i, j), acc[j])
+		}
+	}
+	a.elapsed[rank] = c.Proc().LocalTime() - start
+	h.Barrier()
+
+	// Untimed extraction in global row order.
+	for i := lo; i < hi; i++ {
+		for j := 0; j < n; j++ {
+			a.grid[i*n+j] = c.LoadF64(at(cBase, i, j))
+		}
+	}
+	a.arrived++
+	k.Barrier()
+}
+
+// Result combines the per-rank outcomes (valid after the engine has run).
+func (a *App) Result() Result {
+	if a.arrived != a.ranks {
+		panic("matmul: Result before all kernels finished")
+	}
+	var maxEl sim.Duration
+	for _, e := range a.elapsed {
+		if e > maxEl {
+			maxEl = e
+		}
+	}
+	var sum float64
+	for _, v := range a.grid {
+		sum += v
+	}
+	return Result{Elapsed: maxEl, Checksum: sum}
+}
+
+// ReferenceChecksum sums the reference result in the same order.
+func ReferenceChecksum(p Params) float64 {
+	var sum float64
+	for _, v := range Reference(p) {
+		sum += v
+	}
+	return sum
+}

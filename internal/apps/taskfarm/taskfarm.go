@@ -1,0 +1,162 @@
+// Package taskfarm implements dynamic load balancing over MetalSVM: a
+// shared work queue under an SVM lock, pulled by all cores, with results
+// written to disjoint shared slots. This is the irregular-parallelism
+// counterpart to the Laplace solver's static distribution — the pattern
+// where shared virtual memory shines over message passing, because work
+// items and results move between cores without any explicit send/receive
+// choreography.
+//
+// The workload is synthetic but uneven on purpose: task i costs O(i)
+// compute, so static distribution would leave the early cores idle while
+// the last core grinds — the farm's whole point.
+package taskfarm
+
+import (
+	"fmt"
+
+	"metalsvm/internal/sim"
+	"metalsvm/internal/svm"
+)
+
+// Params describes one run.
+type Params struct {
+	// Tasks is the number of work items.
+	Tasks int
+	// UnitCycles is the compute cost multiplier per task index.
+	UnitCycles uint64
+	// LockID is the SVM lock protecting the queue head.
+	LockID int
+}
+
+// DefaultParams returns a moderately uneven farm.
+func DefaultParams() Params {
+	return Params{Tasks: 64, UnitCycles: 2000, LockID: 11}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Tasks < 1 {
+		return fmt.Errorf("taskfarm: %d tasks", p.Tasks)
+	}
+	if p.UnitCycles == 0 {
+		return fmt.Errorf("taskfarm: zero unit cost")
+	}
+	return nil
+}
+
+// taskValue is the deterministic "computation": a mixed hash of the index.
+func taskValue(i int) uint64 {
+	x := uint64(i)*0x9e3779b97f4a7c15 + 0x1234
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+// Result of one run.
+type Result struct {
+	// Elapsed is the longest per-core busy time.
+	Elapsed sim.Duration
+	// Sum is the combined result over all tasks.
+	Sum uint64
+	// PerCore counts tasks executed by each participating kernel (indexed
+	// by member rank) — the load-balancing evidence.
+	PerCore []int
+}
+
+// Expected returns the correct Sum for the parameters.
+func (p Params) Expected() uint64 {
+	var s uint64
+	for i := 0; i < p.Tasks; i++ {
+		s += taskValue(i)
+	}
+	return s
+}
+
+// App is one farm run.
+type App struct {
+	p Params
+
+	perCore []int
+	elapsed []sim.Duration
+	sum     uint64
+	ranks   int
+	arrived int
+}
+
+// New prepares a run.
+func New(p Params) *App {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &App{p: p}
+}
+
+// Main is the per-kernel body. Shared layout: word 0 is the queue head
+// (next undone task); words 1..Tasks hold the results.
+func (a *App) Main(h *svm.Handle) {
+	p := a.p
+	k := h.Kernel()
+	c := k.Core()
+	rank := k.Index()
+	if a.perCore == nil {
+		a.ranks = len(k.Members())
+		a.perCore = make([]int, a.ranks)
+		a.elapsed = make([]sim.Duration, a.ranks)
+	}
+
+	base := h.Alloc(uint32((p.Tasks + 1) * 8))
+	head := base
+	resultAt := func(i int) uint32 { return base + uint32(i+1)*8 }
+
+	if rank == 0 {
+		c.Store64(head, 0)
+	}
+	h.Barrier()
+
+	start := c.Proc().LocalTime()
+	for {
+		// Pull the next task under the queue lock.
+		h.Lock(p.LockID)
+		i := int(c.Load64(head))
+		if i < p.Tasks {
+			c.Store64(head, uint64(i)+1)
+		}
+		h.Unlock(p.LockID)
+		if i >= p.Tasks {
+			break
+		}
+		// Uneven compute: task i costs i*UnitCycles.
+		c.Cycles(uint64(i) * p.UnitCycles)
+		c.Store64(resultAt(i), taskValue(i))
+		a.perCore[rank]++
+	}
+	a.elapsed[rank] = c.Proc().LocalTime() - start
+
+	// Publish results, then rank 0 reduces (reads cross-core data through
+	// the SVM — no messages anywhere in this program).
+	h.Barrier()
+	if rank == 0 {
+		var sum uint64
+		for i := 0; i < p.Tasks; i++ {
+			sum += c.Load64(resultAt(i))
+		}
+		a.sum = sum
+	}
+	a.arrived++
+	k.Barrier()
+}
+
+// Result combines the per-rank outcomes (valid after the engine has run).
+func (a *App) Result() Result {
+	if a.arrived != a.ranks {
+		panic("taskfarm: Result before all kernels finished")
+	}
+	var maxEl sim.Duration
+	for _, e := range a.elapsed {
+		if e > maxEl {
+			maxEl = e
+		}
+	}
+	return Result{Elapsed: maxEl, Sum: a.sum, PerCore: append([]int(nil), a.perCore...)}
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"metalsvm/internal/mailbox"
+	"metalsvm/internal/mesh"
+)
+
+// Fig6Point is one x-position of Figure 6: mail ping-pong half-round-trip
+// latency between two cores at a given mesh distance, with the receiver
+// discovering mail by polling vs by IPI.
+type Fig6Point struct {
+	Hops      int
+	Peer      int // the core paired with core 0
+	PollingUS float64
+	IPIUS     float64
+}
+
+// Fig6 reproduces Figure 6: "Average latency according to the distance".
+// Only the two pinging cores are activated, as in the paper, so the
+// polling kernel checks a single receive buffer and comes out faster than
+// the interrupt-driven path (whose gap is the IRQ entry overhead).
+func Fig6(rounds int) []Fig6Point {
+	m, err := mesh.New(mesh.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	var out []Fig6Point
+	for h := 0; h <= m.MaxHops(); h++ {
+		peer := m.CoreAtDistance(0, h)
+		if peer < 0 {
+			continue
+		}
+		members := []int{0, peer}
+		if peer < 0 {
+			continue
+		}
+		if members[0] > members[1] {
+			members[0], members[1] = members[1], members[0]
+		}
+		p := Fig6Point{Hops: h, Peer: peer}
+		p.PollingUS = runPingPong(pingPongConfig{
+			mode: mailbox.ModePolling, a: 0, b: peer, members: members,
+			rounds: rounds, warmup: rounds / 4,
+		})
+		p.IPIUS = runPingPong(pingPongConfig{
+			mode: mailbox.ModeIPI, a: 0, b: peer, members: members,
+			rounds: rounds, warmup: rounds / 4,
+		})
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"sort"
+
+	"metalsvm/internal/mailbox"
+)
+
+// Fig7Point is one x-position of Figure 7: ping-pong latency between cores
+// 0 and 30 (5 hops apart) as a function of the number of activated cores.
+type Fig7Point struct {
+	Cores      int
+	PollingUS  float64 // all idle cores poll every buffer: grows with cores
+	IPIUS      float64 // IPI names the sender: flat
+	IPINoiseUS float64 // IPI while the other cores mail each other: flat
+}
+
+// Fig7CoreCounts is the default sweep (the paper plots 2..48).
+func Fig7CoreCounts() []int { return []int{2, 4, 8, 16, 24, 32, 40, 48} }
+
+// fig7Members returns core 0, core 30, and enough filler cores for a total
+// of n, sorted.
+func fig7Members(n int) []int {
+	members := []int{0, 30}
+	for c := 1; len(members) < n; c++ {
+		if c != 30 {
+			members = append(members, c)
+		}
+	}
+	sort.Ints(members)
+	return members
+}
+
+// Fig7 reproduces Figure 7: "Average latency between core 0 and 30".
+func Fig7(rounds int, coreCounts []int) []Fig7Point {
+	if coreCounts == nil {
+		coreCounts = Fig7CoreCounts()
+	}
+	var out []Fig7Point
+	for _, n := range coreCounts {
+		members := fig7Members(n)
+		p := Fig7Point{Cores: n}
+		p.PollingUS = runPingPong(pingPongConfig{
+			mode: mailbox.ModePolling, a: 0, b: 30, members: members,
+			rounds: rounds, warmup: rounds / 4,
+		})
+		p.IPIUS = runPingPong(pingPongConfig{
+			mode: mailbox.ModeIPI, a: 0, b: 30, members: members,
+			rounds: rounds, warmup: rounds / 4,
+		})
+		p.IPINoiseUS = runPingPong(pingPongConfig{
+			mode: mailbox.ModeIPI, a: 0, b: 30, members: members,
+			rounds: rounds, warmup: rounds / 4, noise: true,
+		})
+		out = append(out, p)
+	}
+	return out
+}

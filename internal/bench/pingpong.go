@@ -1,0 +1,151 @@
+// Package bench contains the experiment harness: one runner per table and
+// figure of the paper's evaluation (Section 7), plus ablation studies of
+// the design decisions. Runners return plain data; cmd/sccbench formats it
+// like the paper's tables and series.
+package bench
+
+import (
+	"metalsvm/internal/kernel"
+	"metalsvm/internal/mailbox"
+	"metalsvm/internal/scc"
+	"metalsvm/internal/sim"
+)
+
+// Mail types used by the harness.
+const (
+	msgPing  = kernel.MsgUser + 8
+	msgPong  = kernel.MsgUser + 9
+	msgNoise = kernel.MsgUser + 10
+	msgDone  = kernel.MsgUser + 11
+)
+
+// pingPongConfig describes one mailbox latency measurement.
+type pingPongConfig struct {
+	mode    mailbox.Mode
+	a, b    int   // the measuring pair
+	members []int // all activated cores (must contain a and b)
+	rounds  int
+	warmup  int
+	// noise makes the filler cores exchange mail among themselves for the
+	// whole measurement (Figure 7's third curve).
+	noise bool
+}
+
+// benchChip returns the default platform with small memories (the mailbox
+// experiments never touch the SVM pool).
+func benchChip() scc.Config {
+	cfg := scc.DefaultConfig()
+	cfg.PrivateMemPerCore = 1 << 20
+	cfg.SharedMem = 16 << 20
+	return cfg
+}
+
+// runPingPong boots the member set, runs warmup+rounds ping-pongs between a
+// and b, and returns the mean half-round-trip latency in microseconds.
+func runPingPong(cfg pingPongConfig) float64 {
+	eng := sim.NewEngine()
+	chip, err := scc.New(eng, benchChip())
+	if err != nil {
+		panic(err)
+	}
+	kcfg := kernel.DefaultConfig()
+	kcfg.Mode = cfg.mode
+	cl, err := kernel.NewCluster(chip, kcfg, cfg.members)
+	if err != nil {
+		panic(err)
+	}
+
+	done := false
+	var elapsed sim.Duration
+
+	pongs := 0
+	cl.Start(cfg.a, func(k *kernel.Kernel) {
+		k.RegisterHandler(msgPong, func(k *kernel.Kernel, m mailbox.Msg) { pongs++ })
+		k.RegisterHandler(msgDone, func(k *kernel.Kernel, m mailbox.Msg) {})
+		k.RegisterHandler(msgNoise, func(k *kernel.Kernel, m mailbox.Msg) {})
+		run := func(n int) {
+			for i := 0; i < n; i++ {
+				k.Send(cfg.b, msgPing, nil)
+				want := pongs + 1
+				k.WaitFor(func() bool { return pongs >= want })
+			}
+		}
+		run(cfg.warmup)
+		start := k.Core().Now()
+		run(cfg.rounds)
+		elapsed = k.Core().Now() - start
+		done = true
+		// Wake everybody that waits on the done flag.
+		for _, m := range cfg.members {
+			if m != cfg.a {
+				k.Send(m, msgDone, nil)
+			}
+		}
+	})
+
+	pings := 0
+	cl.Start(cfg.b, func(k *kernel.Kernel) {
+		k.RegisterHandler(msgPing, func(k *kernel.Kernel, m mailbox.Msg) {
+			pings++
+			k.Send(cfg.a, msgPong, nil)
+		})
+		k.RegisterHandler(msgDone, func(k *kernel.Kernel, m mailbox.Msg) {})
+		k.RegisterHandler(msgNoise, func(k *kernel.Kernel, m mailbox.Msg) {})
+		k.WaitFor(func() bool { return done })
+	})
+
+	// Filler cores: pure idle, or pairwise noise traffic.
+	fillers := make([]int, 0, len(cfg.members))
+	for _, m := range cfg.members {
+		if m != cfg.a && m != cfg.b {
+			fillers = append(fillers, m)
+		}
+	}
+	for i, id := range fillers {
+		i, id := i, id
+		var partner int
+		hasPartner := cfg.noise && len(fillers) >= 2
+		if hasPartner {
+			if i%2 == 0 {
+				if i+1 < len(fillers) {
+					partner = fillers[i+1]
+				} else {
+					hasPartner = false // odd one out idles
+				}
+			} else {
+				partner = fillers[i-1]
+			}
+		}
+		cl.Start(id, func(k *kernel.Kernel) {
+			noiseGot := 0
+			k.RegisterHandler(msgNoise, func(k *kernel.Kernel, m mailbox.Msg) { noiseGot++ })
+			k.RegisterHandler(msgDone, func(k *kernel.Kernel, m mailbox.Msg) {})
+			if !hasPartner {
+				k.WaitFor(func() bool { return done })
+				return
+			}
+			if i%2 == 0 {
+				// Initiator: strict ping-pong with the partner so mailbox
+				// slots never back up when the measurement ends.
+				for !done {
+					k.Send(partner, msgNoise, nil)
+					want := noiseGot + 1
+					k.WaitFor(func() bool { return noiseGot >= want || done })
+				}
+			} else {
+				for !done {
+					want := noiseGot + 1
+					k.WaitFor(func() bool { return noiseGot >= want || done })
+					if done {
+						break
+					}
+					k.Send(partner, msgNoise, nil)
+				}
+			}
+		})
+	}
+
+	eng.Run()
+	eng.Shutdown()
+	return elapsed.Microseconds() / float64(2*cfg.rounds)
+}

@@ -1,0 +1,189 @@
+// Package core is the MetalSVM facade — the paper's contribution assembled
+// into one public API. It builds the simulated SCC, boots a cluster of
+// MetalSVM kernels on a chosen set of cores, wires up the SVM system, and
+// runs user workloads on the simulated cores.
+//
+// Typical use:
+//
+//	m, _ := core.NewMachine(core.Options{Members: core.FirstN(8)})
+//	m.RunAll(func(env *core.Env) {
+//	    base := env.SVM.Alloc(4 << 20)
+//	    env.K.Core().Store64(base, 42)
+//	    env.SVM.Barrier()
+//	})
+//	m.Wait()
+//
+// For the message-passing baseline (RCCE/iRCCE "under Linux"), use
+// NewBaseline, which boots bare cores with an RCCE communicator and an
+// L2-enabled private-memory environment instead of MetalSVM kernels.
+package core
+
+import (
+	"fmt"
+
+	"metalsvm/internal/cpu"
+	"metalsvm/internal/kernel"
+	"metalsvm/internal/mailbox"
+	"metalsvm/internal/rcce"
+	"metalsvm/internal/scc"
+	"metalsvm/internal/sim"
+	"metalsvm/internal/svm"
+)
+
+// Options configures a MetalSVM machine. Zero values select the paper's
+// defaults (48 cores at 533 MHz, 800 MHz mesh and memory, IPI-driven
+// mailboxes, strong consistency).
+type Options struct {
+	// Chip overrides the platform configuration.
+	Chip *scc.Config
+	// Kernel overrides the kernel configuration (mailbox mode, timer).
+	Kernel *kernel.Config
+	// SVM overrides the SVM configuration (consistency model, calibration).
+	SVM *svm.Config
+	// Members lists the cores to boot (sorted, distinct). Defaults to all.
+	Members []int
+}
+
+// FirstN returns the member list {0, 1, ..., n-1}.
+func FirstN(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// Env is what a workload receives on each booted core.
+type Env struct {
+	// K is the MetalSVM kernel on this core.
+	K *kernel.Kernel
+	// SVM is this kernel's handle on the shared virtual memory system.
+	SVM *svm.Handle
+}
+
+// Core returns the underlying processor model.
+func (e *Env) Core() *cpu.Core { return e.K.Core() }
+
+// Machine is a booted MetalSVM system.
+type Machine struct {
+	Engine  *sim.Engine
+	Chip    *scc.Chip
+	Cluster *kernel.Cluster
+	SVM     *svm.System
+
+	started bool
+}
+
+// NewMachine builds the platform, cluster and SVM system.
+func NewMachine(opts Options) (*Machine, error) {
+	eng := sim.NewEngine()
+	ccfg := scc.DefaultConfig()
+	if opts.Chip != nil {
+		ccfg = *opts.Chip
+	}
+	chip, err := scc.New(eng, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	kcfg := kernel.DefaultConfig()
+	if opts.Kernel != nil {
+		kcfg = *opts.Kernel
+	}
+	members := opts.Members
+	if members == nil {
+		members = FirstN(chip.Cores())
+	}
+	cl, err := kernel.NewCluster(chip, kcfg, members)
+	if err != nil {
+		return nil, err
+	}
+	scfg := svm.DefaultConfig(svm.Strong)
+	if opts.SVM != nil {
+		scfg = *opts.SVM
+	}
+	sys, err := svm.New(cl, scfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Engine: eng, Chip: chip, Cluster: cl, SVM: sys}, nil
+}
+
+// Run boots each member with its main (every member must have one) and
+// drives the simulation to completion, returning the final simulated time.
+func (m *Machine) Run(mains map[int]func(*Env)) sim.Time {
+	if m.started {
+		panic("core: machine already run")
+	}
+	m.started = true
+	for _, id := range m.Cluster.Members() {
+		main := mains[id]
+		if main == nil {
+			panic(fmt.Sprintf("core: no main for member %d", id))
+		}
+		m.Cluster.Start(id, func(k *kernel.Kernel) {
+			main(&Env{K: k, SVM: m.SVM.Attach(k)})
+		})
+	}
+	end := m.Engine.Run()
+	m.Engine.Shutdown()
+	return end
+}
+
+// RunAll runs the same main on every member.
+func (m *Machine) RunAll(main func(*Env)) sim.Time {
+	mains := make(map[int]func(*Env), len(m.Cluster.Members()))
+	for _, id := range m.Cluster.Members() {
+		mains[id] = main
+	}
+	return m.Run(mains)
+}
+
+// Baseline is the comparison system: bare cores (think "SCC Linux") with
+// the RCCE/iRCCE communication library and full L1+L2 caching of private
+// memory — no MetalSVM kernels, no SVM.
+type Baseline struct {
+	Engine *sim.Engine
+	Chip   *scc.Chip
+	Comm   *rcce.Comm
+
+	started bool
+}
+
+// NewBaseline builds the platform with an RCCE communicator over the given
+// cores (rank order).
+func NewBaseline(chipCfg *scc.Config, cores []int) (*Baseline, error) {
+	eng := sim.NewEngine()
+	ccfg := scc.DefaultConfig()
+	if chipCfg != nil {
+		ccfg = *chipCfg
+	}
+	chip, err := scc.New(eng, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	comm, err := rcce.New(chip, cores)
+	if err != nil {
+		return nil, err
+	}
+	return &Baseline{Engine: eng, Chip: chip, Comm: comm}, nil
+}
+
+// Run boots every rank with main(rank, core) and drives the simulation.
+func (b *Baseline) Run(main func(rank int, c *cpu.Core)) sim.Time {
+	if b.started {
+		panic("core: baseline already run")
+	}
+	b.started = true
+	for r := 0; r < b.Comm.Size(); r++ {
+		r := r
+		b.Chip.Boot(b.Comm.CoreOf(r), func(c *cpu.Core) {
+			main(r, c)
+		})
+	}
+	end := b.Engine.Run()
+	b.Engine.Shutdown()
+	return end
+}
+
+// Mode returns the cluster's mailbox mode (for reporting).
+func (m *Machine) Mode() mailbox.Mode { return m.Cluster.Mailbox().Mode() }

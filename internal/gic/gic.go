@@ -1,0 +1,84 @@
+// Package gic models the Global Interrupt Controller that sccKit 1.4
+// exposes in the SCC's system FPGA. Its key capability, which the paper's
+// event-driven mailbox path depends on, is that an inter-processor
+// interrupt carries *which core raised it*, so the receiver's handler can
+// check a single mailbox instead of scanning all of them.
+//
+// The controller here is purely functional (status registers); the chip
+// layer schedules delivery with mesh latency and wakes the target core.
+package gic
+
+import "fmt"
+
+// Controller holds one IPI status word per core. Bit f of core t's word
+// means "core f has raised an IPI towards core t that t has not claimed".
+type Controller struct {
+	status []uint64
+}
+
+// New creates a controller for the given core count (at most 64, which
+// comfortably covers the SCC's 48).
+func New(cores int) *Controller {
+	if cores <= 0 || cores > 64 {
+		panic(fmt.Sprintf("gic: unsupported core count %d", cores))
+	}
+	return &Controller{status: make([]uint64, cores)}
+}
+
+// Cores returns the number of cores the controller serves.
+func (g *Controller) Cores() int { return len(g.status) }
+
+func (g *Controller) check(core int) {
+	if core < 0 || core >= len(g.status) {
+		panic(fmt.Sprintf("gic: core %d out of range", core))
+	}
+}
+
+// Raise records an IPI from core `from` to core `to`. Raising again before
+// the target claims is idempotent (the status bit is already set), exactly
+// like the FPGA register.
+func (g *Controller) Raise(from, to int) {
+	g.check(from)
+	g.check(to)
+	g.status[to] |= 1 << uint(from)
+}
+
+// Pending reports whether core has unclaimed IPIs.
+func (g *Controller) Pending(core int) bool {
+	g.check(core)
+	return g.status[core] != 0
+}
+
+// Claim atomically reads and clears the lowest-numbered origin bit,
+// returning the originating core. ok is false when nothing is pending.
+func (g *Controller) Claim(core int) (from int, ok bool) {
+	g.check(core)
+	s := g.status[core]
+	if s == 0 {
+		return 0, false
+	}
+	for f := 0; f < 64; f++ {
+		if s&(1<<uint(f)) != 0 {
+			g.status[core] &^= 1 << uint(f)
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// ClaimAll reads and clears the full origin set in ascending order.
+func (g *Controller) ClaimAll(core int) []int {
+	g.check(core)
+	s := g.status[core]
+	g.status[core] = 0
+	if s == 0 {
+		return nil
+	}
+	var origins []int
+	for f := 0; f < 64; f++ {
+		if s&(1<<uint(f)) != 0 {
+			origins = append(origins, f)
+		}
+	}
+	return origins
+}

@@ -1,0 +1,93 @@
+package gic
+
+import "testing"
+
+func TestRaiseClaim(t *testing.T) {
+	g := New(48)
+	if g.Pending(30) {
+		t.Fatal("fresh controller pending")
+	}
+	g.Raise(0, 30)
+	if !g.Pending(30) {
+		t.Fatal("raise not recorded")
+	}
+	from, ok := g.Claim(30)
+	if !ok || from != 0 {
+		t.Fatalf("claim = (%d, %v)", from, ok)
+	}
+	if g.Pending(30) {
+		t.Fatal("claim did not clear the bit")
+	}
+	if _, ok := g.Claim(30); ok {
+		t.Fatal("claim of empty status succeeded")
+	}
+}
+
+func TestRaiseIdempotent(t *testing.T) {
+	g := New(48)
+	g.Raise(5, 7)
+	g.Raise(5, 7)
+	if _, ok := g.Claim(7); !ok {
+		t.Fatal("first claim failed")
+	}
+	if _, ok := g.Claim(7); ok {
+		t.Fatal("double raise produced two claims (status is a bit, not a counter)")
+	}
+}
+
+func TestClaimOrderIsAscending(t *testing.T) {
+	g := New(48)
+	g.Raise(9, 3)
+	g.Raise(2, 3)
+	g.Raise(40, 3)
+	var got []int
+	for {
+		f, ok := g.Claim(3)
+		if !ok {
+			break
+		}
+		got = append(got, f)
+	}
+	want := []int{2, 9, 40}
+	if len(got) != len(want) {
+		t.Fatalf("claims = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("claims = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClaimAll(t *testing.T) {
+	g := New(48)
+	g.Raise(1, 0)
+	g.Raise(47, 0)
+	all := g.ClaimAll(0)
+	if len(all) != 2 || all[0] != 1 || all[1] != 47 {
+		t.Fatalf("ClaimAll = %v", all)
+	}
+	if g.Pending(0) {
+		t.Fatal("ClaimAll left pending bits")
+	}
+	if got := g.ClaimAll(0); got != nil {
+		t.Fatalf("second ClaimAll = %v, want nil", got)
+	}
+}
+
+func TestTargetsIndependent(t *testing.T) {
+	g := New(4)
+	g.Raise(0, 1)
+	if g.Pending(2) {
+		t.Fatal("raise leaked to another target")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("65 cores accepted")
+		}
+	}()
+	New(65)
+}

@@ -1,0 +1,351 @@
+// Package kernel models MetalSVM's per-core bare-metal kernel: interrupt
+// handling, timer ticks, the mail service loop, and a dissemination barrier
+// built on the mailbox system.
+//
+// A Cluster boots one kernel per participating core. Each kernel registers
+// typed mail handlers (the SVM system registers its ownership protocol
+// here) and services incoming mail:
+//
+//   - in polling mode, on every interrupt and whenever it waits, the kernel
+//     scans the receive slot of every active core (the paper's ~100 cycles
+//     per slot — cost grows with the number of active cores);
+//   - in IPI mode the interrupt handler asks the GIC which core raised the
+//     interrupt and checks only that slot.
+package kernel
+
+import (
+	"fmt"
+
+	"metalsvm/internal/cpu"
+	"metalsvm/internal/mailbox"
+	"metalsvm/internal/scc"
+	"metalsvm/internal/sim"
+	"metalsvm/internal/trace"
+)
+
+// Message types. User layers (SVM, applications) register handlers for
+// their own types at or above MsgUser.
+const (
+	// MsgBarrier carries dissemination-barrier notifications.
+	MsgBarrier byte = 1
+	// MsgUser is the first type available to higher layers.
+	MsgUser byte = 16
+)
+
+// Config holds kernel parameters.
+type Config struct {
+	// Mode selects mail delivery (polling vs IPI), the axis of Figures 6/7.
+	Mode mailbox.Mode
+	// TimerPeriod is the local APIC timer period (kernels check mail on
+	// every tick in polling mode). Zero disables the timer.
+	TimerPeriod sim.Duration
+}
+
+// DefaultConfig returns IPI-driven kernels with a 1 ms timer tick.
+func DefaultConfig() Config {
+	return Config{
+		Mode:        mailbox.ModeIPI,
+		TimerPeriod: sim.Microseconds(1000),
+	}
+}
+
+// Handler services one incoming mail on the receiving kernel's goroutine.
+type Handler func(k *Kernel, m mailbox.Msg)
+
+// Stats counts kernel events.
+type Stats struct {
+	TimerTicks uint64
+	IPIs       uint64
+	Dispatched uint64
+	Barriers   uint64
+}
+
+// Kernel is one core's kernel instance.
+type Kernel struct {
+	cluster *Cluster
+	core    *cpu.Core
+	id      int
+	idx     int // index in the member list
+
+	handlers [256]Handler
+
+	// Dissemination-barrier bookkeeping: arrival counts per sender, so
+	// early arrivals from fast partners are never lost or double-counted.
+	barrierSeen []int
+	barrierUsed []int
+
+	done  bool
+	stats Stats
+
+	// timerLCG drives the deterministic tick jitter (see armTimer).
+	timerLCG uint64
+}
+
+// Cluster boots and owns the kernels of the participating cores.
+type Cluster struct {
+	chip    *scc.Chip
+	mb      *mailbox.System
+	cfg     Config
+	members []int
+	kernels map[int]*Kernel
+	// doneCount tracks finished mains; kernels keep servicing mail until
+	// every member is done, so a late page fault always finds its peer
+	// alive (a real kernel idles and serves — it never "returns").
+	doneCount int
+}
+
+// NewCluster creates a cluster over the given (sorted, distinct) member
+// cores.
+func NewCluster(chip *scc.Chip, cfg Config, members []int) (*Cluster, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("kernel: empty member list")
+	}
+	seen := map[int]bool{}
+	for i, m := range members {
+		if m < 0 || m >= chip.Cores() {
+			return nil, fmt.Errorf("kernel: member %d out of range", m)
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("kernel: duplicate member %d", m)
+		}
+		seen[m] = true
+		if i > 0 && members[i-1] > m {
+			return nil, fmt.Errorf("kernel: member list not sorted")
+		}
+	}
+	return &Cluster{
+		chip:    chip,
+		mb:      mailbox.New(chip, cfg.Mode),
+		cfg:     cfg,
+		members: append([]int(nil), members...),
+		kernels: make(map[int]*Kernel),
+	}, nil
+}
+
+// Chip returns the platform.
+func (cl *Cluster) Chip() *scc.Chip { return cl.chip }
+
+// Mailbox returns the mailbox layer.
+func (cl *Cluster) Mailbox() *mailbox.System { return cl.mb }
+
+// Members returns the participating cores.
+func (cl *Cluster) Members() []int { return cl.members }
+
+// Kernel returns the kernel on core id (nil before Start).
+func (cl *Cluster) Kernel(id int) *Kernel { return cl.kernels[id] }
+
+// Start boots core id with main as the kernel's task. It must be called
+// before the engine runs.
+func (cl *Cluster) Start(id int, main func(*Kernel)) *Kernel {
+	idx := -1
+	for i, m := range cl.members {
+		if m == id {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("kernel: core %d is not a cluster member", id))
+	}
+	if cl.kernels[id] != nil {
+		panic(fmt.Sprintf("kernel: core %d started twice", id))
+	}
+	k := &Kernel{
+		cluster:     cl,
+		id:          id,
+		idx:         idx,
+		barrierSeen: make([]int, cl.chip.Cores()),
+		barrierUsed: make([]int, cl.chip.Cores()),
+	}
+	cl.kernels[id] = k
+	k.RegisterHandler(MsgBarrier, k.handleBarrierMail)
+	k.core = cl.chip.Boot(id, func(c *cpu.Core) {
+		c.SetIRQHandler(k.handleIRQ)
+		main(k)
+		k.done = true
+		cl.doneCount++
+		if cl.doneCount == len(cl.members) {
+			// Last one out wakes every kernel parked in its service tail.
+			for _, m := range cl.members {
+				if m != id {
+					cl.mb.WaitAnySignal(m).Fire(c.Proc().LocalTime())
+				}
+			}
+			return
+		}
+		// Service tail: keep answering mail (ownership requests, barrier
+		// notices from faster peers) until the whole cluster is done.
+		k.WaitFor(func() bool { return cl.doneCount == len(cl.members) })
+	})
+	if cl.cfg.TimerPeriod > 0 {
+		// Stagger the first tick per core: kernels do not boot in lockstep,
+		// and phase-locked ticks would let a deterministic workload resonate
+		// with the timer (systematically hitting — or missing — the same
+		// critical windows).
+		phase := cl.cfg.TimerPeriod * sim.Duration(id) / sim.Duration(cl.chip.Cores())
+		cl.chip.Engine().After(phase, func() { cl.armTimer(k) })
+	}
+	return k
+}
+
+func (cl *Cluster) armTimer(k *Kernel) {
+	// Jitter each period by up to ±6% with a per-kernel LCG. Real timer
+	// crystals drift relative to each other; without this, a fully
+	// deterministic workload can phase-lock against the tick and every
+	// round systematically hits (or dodges) the handler's scan window,
+	// producing resonance artifacts no physical SCC would show.
+	k.timerLCG = k.timerLCG*6364136223846793005 + uint64(k.id)*2862933555777941757 + 3037000493
+	frac := int64(k.timerLCG>>40) % 1000 // 0..999
+	period := cl.cfg.TimerPeriod
+	jitter := sim.Duration(uint64(period) / 1000 * uint64(frac) / 8)
+	cl.chip.Engine().After(period-period/16+jitter, func() {
+		if k.done {
+			return
+		}
+		k.core.PostInterrupt(cpu.IRQTimer)
+		cl.armTimer(k)
+	})
+}
+
+// --- Kernel API ----------------------------------------------------------
+
+// ID returns the core number.
+func (k *Kernel) ID() int { return k.id }
+
+// Index returns the kernel's rank in the member list.
+func (k *Kernel) Index() int { return k.idx }
+
+// Core returns the underlying core model.
+func (k *Kernel) Core() *cpu.Core { return k.core }
+
+// Cluster returns the owning cluster.
+func (k *Kernel) Cluster() *Cluster { return k.cluster }
+
+// Chip returns the platform.
+func (k *Kernel) Chip() *scc.Chip { return k.cluster.chip }
+
+// Members returns the participating cores.
+func (k *Kernel) Members() []int { return k.cluster.members }
+
+// Stats returns a snapshot of the kernel counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// RegisterHandler installs the handler for a mail type. Installing twice
+// panics — handler wiring bugs should not hide.
+func (k *Kernel) RegisterHandler(typ byte, h Handler) {
+	if k.handlers[typ] != nil {
+		panic(fmt.Sprintf("kernel %d: handler for type %d registered twice", k.id, typ))
+	}
+	k.handlers[typ] = h
+}
+
+// Send mails another kernel (blocking while its slot is full, servicing
+// nothing meanwhile — slots drain quickly because receivers always consume
+// in their handlers).
+func (k *Kernel) Send(to int, typ byte, payload []byte) {
+	k.cluster.mb.Send(k.id, to, typ, payload)
+}
+
+func (k *Kernel) dispatch(m mailbox.Msg) {
+	h := k.handlers[m.Type]
+	if h == nil {
+		panic(fmt.Sprintf("kernel %d: no handler for mail type %d from %d", k.id, m.Type, m.From))
+	}
+	k.stats.Dispatched++
+	h(k, m)
+}
+
+// serviceAll scans every other member's slot once, dispatching what it
+// finds, and reports whether anything was processed. This is the
+// polling-mode cost center: each slot check costs ~100 cycles.
+func (k *Kernel) serviceAll() bool {
+	progress := false
+	for _, m := range k.cluster.members {
+		if m == k.id {
+			continue
+		}
+		if msg, ok := k.cluster.mb.Check(k.id, m); ok {
+			k.dispatch(msg)
+			progress = true
+		}
+	}
+	return progress
+}
+
+// serviceFrom checks one specific sender's slot (IPI fast path).
+func (k *Kernel) serviceFrom(from int) bool {
+	if msg, ok := k.cluster.mb.Check(k.id, from); ok {
+		k.dispatch(msg)
+		return true
+	}
+	return false
+}
+
+// handleIRQ is the kernel's interrupt entry point.
+func (k *Kernel) handleIRQ(c *cpu.Core, irq cpu.IRQ) {
+	switch irq {
+	case cpu.IRQTimer:
+		k.stats.TimerTicks++
+		if k.cluster.cfg.Mode == mailbox.ModePolling {
+			// The kernel checks all receive buffers at every interrupt.
+			k.serviceAll()
+		}
+	case cpu.IRQIPI:
+		k.stats.IPIs++
+		// The GIC names the raising cores: check exactly those buffers.
+		for _, from := range k.Chip().GIC().ClaimAll(k.id) {
+			k.serviceFrom(from)
+		}
+	}
+}
+
+// WaitFor blocks until cond() is true, servicing incoming mail the whole
+// time — this is what makes the ownership protocol deadlock-free: a kernel
+// waiting for an ownership reply still serves ownership requests aimed at
+// it. The condition is typically flipped by a registered handler.
+func (k *Kernel) WaitFor(cond func() bool) {
+	sig := k.cluster.mb.WaitAnySignal(k.id)
+	for !cond() {
+		// Capture the deposit eventcount before scanning: the scan parks
+		// at every slot probe, and a mail deposited into an already-probed
+		// slot during that window must not leave us sleeping.
+		seq := sig.Seq()
+		if k.cluster.cfg.Mode == mailbox.ModePolling {
+			if k.serviceAll() {
+				continue
+			}
+		}
+		sig.WaitSeq(k.core.Proc(), seq)
+	}
+}
+
+// Barrier synchronizes all cluster members with a dissemination barrier:
+// ceil(log2(n)) rounds of one mail each. Mail from partners that raced
+// ahead into the next barrier is accounted, not lost.
+func (k *Kernel) Barrier() {
+	k.stats.Barriers++
+	k.Chip().Tracer().Emit(k.core.Now(), k.id, trace.KindBarrier, k.stats.Barriers, 0)
+	n := len(k.cluster.members)
+	for r := 1; r < n; r <<= 1 {
+		to := k.cluster.members[(k.idx+r)%n]
+		from := k.cluster.members[(k.idx-r+n)%n]
+		k.Send(to, MsgBarrier, nil)
+		k.WaitFor(func() bool { return k.barrierSeen[from] > k.barrierUsed[from] })
+		k.barrierUsed[from]++
+	}
+}
+
+// installBarrierHandler is called lazily by Start via RegisterHandler.
+func (k *Kernel) handleBarrierMail(_ *Kernel, m mailbox.Msg) {
+	k.barrierSeen[m.From]++
+}
+
+// DebugString summarizes internal wait state for diagnostics.
+func (k *Kernel) DebugString() string {
+	s := fmt.Sprintf("kernel %d: barriers=%d done=%v seen/used:", k.id, k.stats.Barriers, k.done)
+	for c := range k.barrierSeen {
+		if k.barrierSeen[c] != 0 || k.barrierUsed[c] != 0 {
+			s += fmt.Sprintf(" %d:%d/%d", c, k.barrierSeen[c], k.barrierUsed[c])
+		}
+	}
+	return s
+}

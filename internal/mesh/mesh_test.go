@@ -1,0 +1,189 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"metalsvm/internal/sim"
+)
+
+func defaultMesh(t *testing.T) *Mesh {
+	t.Helper()
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDefaultGeometry(t *testing.T) {
+	m := defaultMesh(t)
+	if m.Cores() != 48 {
+		t.Fatalf("cores = %d, want 48", m.Cores())
+	}
+	if m.Tiles() != 24 {
+		t.Fatalf("tiles = %d, want 24", m.Tiles())
+	}
+	if m.ControllerCount() != 4 {
+		t.Fatalf("controllers = %d, want 4", m.ControllerCount())
+	}
+	if m.MaxHops() != 8 {
+		t.Fatalf("diameter = %d hops, want 8", m.MaxHops())
+	}
+}
+
+func TestCoreTileMapping(t *testing.T) {
+	m := defaultMesh(t)
+	cases := []struct {
+		core, tile int
+		pos        Coord
+	}{
+		{0, 0, Coord{0, 0}},
+		{1, 0, Coord{0, 0}},
+		{2, 1, Coord{1, 0}},
+		{11, 5, Coord{5, 0}},
+		{12, 6, Coord{0, 1}},
+		{47, 23, Coord{5, 3}},
+	}
+	for _, c := range cases {
+		if got := m.TileOfCore(c.core); got != c.tile {
+			t.Errorf("TileOfCore(%d) = %d, want %d", c.core, got, c.tile)
+		}
+		if got := m.CoordOfCore(c.core); got != c.pos {
+			t.Errorf("CoordOfCore(%d) = %v, want %v", c.core, got, c.pos)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	if h := Hops(Coord{0, 0}, Coord{5, 3}); h != 8 {
+		t.Fatalf("corner-to-corner hops = %d, want 8", h)
+	}
+	if h := Hops(Coord{2, 1}, Coord{2, 1}); h != 0 {
+		t.Fatalf("self hops = %d, want 0", h)
+	}
+}
+
+func TestPaperDistanceCore0To30(t *testing.T) {
+	// The paper's Figure 7 benchmark uses cores 0 and 30 "with a distance
+	// of 5 hops". Core 30 is on tile 15 = (3, 2): |3-0| + |2-0| = 5.
+	m := defaultMesh(t)
+	if h := m.HopsCores(0, 30); h != 5 {
+		t.Fatalf("hops(core0, core30) = %d, want 5 as in the paper", h)
+	}
+}
+
+func TestSameTileZeroHops(t *testing.T) {
+	m := defaultMesh(t)
+	if h := m.HopsCores(0, 1); h != 0 {
+		t.Fatalf("same-tile hops = %d, want 0", h)
+	}
+}
+
+func TestNearestControllerQuadrants(t *testing.T) {
+	m := defaultMesh(t)
+	// Core 0 at (0,0) is adjacent to MC0 at (0,0).
+	if mc := m.NearestController(0); mc != 0 {
+		t.Errorf("NearestController(0) = %d, want 0", mc)
+	}
+	// Core 47 at (5,3) is nearest to MC3 at (5,2).
+	if mc := m.NearestController(47); mc != 3 {
+		t.Errorf("NearestController(47) = %d, want 3", mc)
+	}
+	// Core 10 on tile 5 = (5,0) is nearest to MC1 at (5,0).
+	if mc := m.NearestController(10); mc != 1 {
+		t.Errorf("NearestController(10) = %d, want 1", mc)
+	}
+}
+
+func TestLatencyScalesWithHops(t *testing.T) {
+	m := defaultMesh(t)
+	// 4 mesh cycles per hop at 800 MHz = 4 * 1250 ps = 5 ns per hop.
+	if d := m.OneWay(1); d != 5000 {
+		t.Fatalf("one hop = %d ps, want 5000", d)
+	}
+	if d := m.RoundTrip(3); d != 30000 {
+		t.Fatalf("3-hop round trip = %d ps, want 30000", d)
+	}
+	if d := m.OneWay(0); d != 0 {
+		t.Fatalf("0 hops = %d ps, want 0", d)
+	}
+}
+
+func TestCoreAtDistance(t *testing.T) {
+	m := defaultMesh(t)
+	for h := 0; h <= m.MaxHops(); h++ {
+		c := m.CoreAtDistance(0, h)
+		if c < 0 {
+			t.Fatalf("no core at distance %d from core 0", h)
+		}
+		if got := m.HopsCores(0, c); got != h {
+			t.Fatalf("CoreAtDistance(0,%d) = core %d at %d hops", h, c, got)
+		}
+	}
+	if c := m.CoreAtDistance(0, 99); c != -1 {
+		t.Fatalf("impossible distance returned core %d", c)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Width = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero width accepted")
+	}
+	bad = DefaultConfig()
+	bad.MemoryControllers = []Coord{{X: 9, Y: 9}}
+	if _, err := New(bad); err == nil {
+		t.Error("off-grid controller accepted")
+	}
+	bad = DefaultConfig()
+	bad.Clock = sim.Clock{}
+	if _, err := New(bad); err == nil {
+		t.Error("zero clock accepted")
+	}
+	bad = DefaultConfig()
+	bad.MemoryControllers = nil
+	if _, err := New(bad); err == nil {
+		t.Error("no controllers accepted")
+	}
+	bad = DefaultConfig()
+	bad.CoresPerTile = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero cores per tile accepted")
+	}
+}
+
+// Property: hop distance is a metric — symmetric, zero iff same tile, and
+// obeys the triangle inequality.
+func TestHopsMetricProperty(t *testing.T) {
+	m := defaultMesh(t)
+	n := m.Cores()
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%n, int(b)%n, int(c)%n
+		if m.HopsCores(x, y) != m.HopsCores(y, x) {
+			return false
+		}
+		if m.TileOfCore(x) == m.TileOfCore(y) != (m.HopsCores(x, y) == 0) {
+			return false
+		}
+		return m.HopsCores(x, z) <= m.HopsCores(x, y)+m.HopsCores(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every core's nearest controller is at most as far as every
+// other controller.
+func TestNearestControllerProperty(t *testing.T) {
+	m := defaultMesh(t)
+	for core := 0; core < m.Cores(); core++ {
+		best := m.NearestController(core)
+		for mc := 0; mc < m.ControllerCount(); mc++ {
+			if m.HopsToController(core, mc) < m.HopsToController(core, best) {
+				t.Fatalf("core %d: controller %d closer than 'nearest' %d", core, mc, best)
+			}
+		}
+	}
+}

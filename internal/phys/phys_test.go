@@ -1,0 +1,319 @@
+package phys
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemReadWriteRoundTrip(t *testing.T) {
+	m := NewMem(1<<20, 4096)
+	data := []byte("hello, scc")
+	m.Write(1234, data)
+	got := make([]byte, len(data))
+	m.Read(1234, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read back %q, want %q", got, data)
+	}
+}
+
+func TestMemCrossFrameAccess(t *testing.T) {
+	m := NewMem(1<<20, 4096)
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	// Straddle the frame boundary at 4096.
+	m.Write(4096-50, data)
+	got := make([]byte, 100)
+	m.Read(4096-50, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("cross-frame read mismatch")
+	}
+	if m.BackedFrames() != 2 {
+		t.Fatalf("backed frames = %d, want 2", m.BackedFrames())
+	}
+}
+
+func TestMemUnbackedReadsZero(t *testing.T) {
+	m := NewMem(1<<20, 4096)
+	got := make([]byte, 64)
+	got[0] = 0xff
+	m.Read(8192, got)
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+	if m.BackedFrames() != 0 {
+		t.Fatal("read materialized a frame")
+	}
+}
+
+func TestMemWord64(t *testing.T) {
+	m := NewMem(1<<20, 4096)
+	m.Write64(4000, 0xdeadbeefcafef00d)
+	if v := m.Read64(4000); v != 0xdeadbeefcafef00d {
+		t.Fatalf("Read64 = %#x", v)
+	}
+	m.Write32(96, 0x12345678)
+	if v := m.Read32(96); v != 0x12345678 {
+		t.Fatalf("Read32 = %#x", v)
+	}
+}
+
+func TestMemOutOfRangePanics(t *testing.T) {
+	m := NewMem(1<<20, 4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range write did not panic")
+		}
+	}()
+	m.Write((1<<20)-4, make([]byte, 8))
+}
+
+func TestMemZeroFrame(t *testing.T) {
+	m := NewMem(1<<20, 4096)
+	m.Write(4096, []byte{1, 2, 3})
+	m.ZeroFrame(1)
+	got := make([]byte, 3)
+	m.Read(4096, got)
+	if got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("frame not zeroed: %v", got)
+	}
+}
+
+// Property: reads return exactly the most recently written bytes.
+func TestMemLastWriteWinsProperty(t *testing.T) {
+	m := NewMem(1<<16, 4096)
+	f := func(addr uint16, a, b byte) bool {
+		m.Write(uint32(addr), []byte{a})
+		m.Write(uint32(addr), []byte{b})
+		var got [1]byte
+		m.Read(uint32(addr), got[:])
+		return got[0] == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPBReadWrite(t *testing.T) {
+	b := NewMPB(48, MPBBytesPerCore)
+	if b.Cores() != 48 || b.SizePerCore() != 8192 {
+		t.Fatalf("geometry %d cores x %d", b.Cores(), b.SizePerCore())
+	}
+	b.Write(30, 100, []byte{9, 8, 7})
+	got := make([]byte, 3)
+	b.Read(30, 100, got)
+	if got[0] != 9 || got[1] != 8 || got[2] != 7 {
+		t.Fatalf("read back %v", got)
+	}
+	// Other cores' buffers are independent.
+	b.Read(31, 100, got)
+	if got[0] != 0 {
+		t.Fatal("MPB buffers aliased across cores")
+	}
+}
+
+func TestMPBWord16(t *testing.T) {
+	b := NewMPB(4, 256)
+	b.Write16(2, 10, 0xbeef)
+	if v := b.Read16(2, 10); v != 0xbeef {
+		t.Fatalf("Read16 = %#x", v)
+	}
+	b.SetByte(1, 0, 0x5a)
+	if v := b.Byte(1, 0); v != 0x5a {
+		t.Fatalf("Byte = %#x", v)
+	}
+}
+
+func TestMPBBoundsPanics(t *testing.T) {
+	b := NewMPB(2, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow access did not panic")
+		}
+	}()
+	b.Write(0, 60, make([]byte, 8))
+}
+
+func TestTASSemantics(t *testing.T) {
+	ts := NewTAS(48)
+	if !ts.TestAndSet(5) {
+		t.Fatal("first TestAndSet failed to acquire")
+	}
+	if ts.TestAndSet(5) {
+		t.Fatal("second TestAndSet acquired a held lock")
+	}
+	if !ts.IsSet(5) {
+		t.Fatal("register not set")
+	}
+	ts.Clear(5)
+	if !ts.TestAndSet(5) {
+		t.Fatal("TestAndSet after Clear failed")
+	}
+	// Registers are independent.
+	if !ts.TestAndSet(6) {
+		t.Fatal("unrelated register affected")
+	}
+}
+
+func testLayout(t *testing.T) *Layout {
+	t.Helper()
+	coreMC := make([]int, 48)
+	for c := range coreMC {
+		// Quadrant mapping: tiles x<3 -> west controllers, y<2 -> south.
+		tile := c / 2
+		x, y := tile%6, tile/6
+		mc := 0
+		if x >= 3 {
+			mc |= 1
+		}
+		if y >= 2 {
+			mc |= 2
+		}
+		coreMC[c] = mc
+	}
+	l, err := NewLayout(4096, 1<<20, 16<<20, 4, coreMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLayoutGeometry(t *testing.T) {
+	l := testLayout(t)
+	if l.Total() != 48*(1<<20)+(16<<20) {
+		t.Fatalf("total = %d", l.Total())
+	}
+	if l.PrivateBase(0) != 0 || l.PrivateBase(1) != 1<<20 {
+		t.Fatal("private bases wrong")
+	}
+	if l.SharedBase() != 48<<20 {
+		t.Fatalf("shared base = %#x", l.SharedBase())
+	}
+	if l.SharedFrames() != (16<<20)/4096 {
+		t.Fatalf("shared frames = %d", l.SharedFrames())
+	}
+}
+
+func TestLayoutRegionQueries(t *testing.T) {
+	l := testLayout(t)
+	if !l.InShared(l.SharedBase()) {
+		t.Fatal("shared base not in shared region")
+	}
+	if l.InShared(l.SharedBase() - 1) {
+		t.Fatal("private tail classified as shared")
+	}
+	if owner := l.PrivateOwner(l.PrivateBase(7) + 100); owner != 7 {
+		t.Fatalf("owner = %d, want 7", owner)
+	}
+	if owner := l.PrivateOwner(l.SharedBase()); owner != -1 {
+		t.Fatalf("shared owner = %d, want -1", owner)
+	}
+}
+
+func TestLayoutControllerMapping(t *testing.T) {
+	l := testLayout(t)
+	// Core 0 (tile 0, quadrant SW) -> controller 0.
+	if mc := l.ControllerOf(l.PrivateBase(0)); mc != 0 {
+		t.Fatalf("private MC = %d, want 0", mc)
+	}
+	// Core 47 (tile 23 at x=5,y=3) -> controller 3.
+	if mc := l.ControllerOf(l.PrivateBase(47)); mc != 3 {
+		t.Fatalf("private MC = %d, want 3", mc)
+	}
+	// Shared chunks: frame ranges must partition the shared region.
+	covered := uint32(0)
+	for mc := 0; mc < 4; mc++ {
+		lo, hi := l.SharedChunkFrames(mc)
+		covered += hi - lo
+		if a := l.ControllerOf(l.SharedFrameAddr(lo)); a != mc {
+			t.Fatalf("chunk %d frame %d maps to controller %d", mc, lo, a)
+		}
+	}
+	if covered != l.SharedFrames() {
+		t.Fatalf("chunks cover %d frames, want %d", covered, l.SharedFrames())
+	}
+}
+
+func TestLayoutSharedFrameRoundTrip(t *testing.T) {
+	l := testLayout(t)
+	for _, sf := range []uint32{0, 1, 100, l.SharedFrames() - 1} {
+		if got := l.SharedFrameOf(l.SharedFrameAddr(sf)); got != sf {
+			t.Fatalf("frame %d round-tripped to %d", sf, got)
+		}
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(0, 1<<20, 16<<20, 4, []int{0}); err == nil {
+		t.Error("zero frame size accepted")
+	}
+	if _, err := NewLayout(4096, 1000, 16<<20, 4, []int{0}); err == nil {
+		t.Error("non-multiple private size accepted")
+	}
+	if _, err := NewLayout(4096, 1<<20, 16<<20, 4, []int{7}); err == nil {
+		t.Error("invalid controller index accepted")
+	}
+	if _, err := NewLayout(4096, 1<<20, 16<<20, 4, nil); err == nil {
+		t.Error("empty core table accepted")
+	}
+}
+
+func TestFrameAllocatorAffinityAndSpill(t *testing.T) {
+	l := testLayout(t)
+	a := NewFrameAllocator(l)
+	lo1, hi1 := l.SharedChunkFrames(1)
+	f, ok := a.Alloc(1)
+	if !ok || f < lo1 || f >= hi1 {
+		t.Fatalf("frame %d not from preferred chunk [%d,%d)", f, lo1, hi1)
+	}
+	// Drain controller 1 entirely; next allocation must spill to another.
+	for {
+		f2, ok := a.Alloc(1)
+		if !ok {
+			t.Fatal("allocator exhausted prematurely")
+		}
+		if f2 < lo1 || f2 >= hi1 {
+			break // spilled
+		}
+	}
+}
+
+func TestFrameAllocatorNeverReturnsZero(t *testing.T) {
+	l := testLayout(t)
+	a := NewFrameAllocator(l)
+	seen := make(map[uint32]bool)
+	for {
+		f, ok := a.Alloc(0)
+		if !ok {
+			break
+		}
+		if f == 0 {
+			t.Fatal("allocator handed out the reserved frame 0")
+		}
+		if seen[f] {
+			t.Fatalf("frame %d allocated twice", f)
+		}
+		seen[f] = true
+	}
+	if len(seen) != int(l.SharedFrames())-1 {
+		t.Fatalf("allocated %d frames, want %d", len(seen), l.SharedFrames()-1)
+	}
+}
+
+func TestFrameAllocatorFree(t *testing.T) {
+	l := testLayout(t)
+	a := NewFrameAllocator(l)
+	before := a.FreeFrames()
+	f, _ := a.Alloc(2)
+	if a.FreeFrames() != before-1 {
+		t.Fatal("free count not decremented")
+	}
+	a.Free(f)
+	if a.FreeFrames() != before {
+		t.Fatal("free count not restored")
+	}
+}

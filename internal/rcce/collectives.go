@@ -1,0 +1,136 @@
+package rcce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file adds RCCE's remaining collective operations on top of the
+// point-to-point layer: reduce, allreduce, scatter and gather. RCCE's own
+// collectives are simple linear algorithms over send/recv (the library
+// predates tree optimizations), and these follow suit — their cost model
+// therefore emerges from the same MPB transfer path the rest of the
+// library charges.
+
+// ReduceOp is a combining operator for float64 reductions.
+type ReduceOp int
+
+const (
+	// OpSum adds.
+	OpSum ReduceOp = iota
+	// OpMin takes the minimum.
+	OpMin
+	// OpMax takes the maximum.
+	OpMax
+)
+
+func (op ReduceOp) apply(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		return math.Min(a, b)
+	case OpMax:
+		return math.Max(a, b)
+	default:
+		panic(fmt.Sprintf("rcce: unknown reduce op %d", int(op)))
+	}
+}
+
+func f64bytes(vs []float64) []byte {
+	b := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return b
+}
+
+func bytesF64(b []byte, out []float64) {
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+}
+
+// Reduce combines every rank's in slice element-wise at the root. Only the
+// root's out slice is written; it may alias in. All ranks must pass equal
+// lengths. Combination happens in ascending rank order, so results are
+// deterministic (and reproducible across runs, like everything else here).
+func (c *Comm) Reduce(me, root int, in []float64, out []float64, op ReduceOp) {
+	if me == root {
+		if len(out) != len(in) {
+			panic("rcce: reduce length mismatch")
+		}
+		acc := make([]float64, len(in))
+		copy(acc, in)
+		tmp := make([]float64, len(in))
+		buf := make([]byte, 8*len(in))
+		for r := 0; r < len(c.cores); r++ {
+			if r == root {
+				continue
+			}
+			c.Recv(me, buf, r)
+			bytesF64(buf, tmp)
+			for i := range acc {
+				acc[i] = op.apply(acc[i], tmp[i])
+			}
+		}
+		copy(out, acc)
+		return
+	}
+	c.Send(me, f64bytes(in), root)
+}
+
+// Allreduce is Reduce at rank 0 followed by a broadcast of the result.
+func (c *Comm) Allreduce(me int, in []float64, out []float64, op ReduceOp) {
+	if len(out) != len(in) {
+		panic("rcce: allreduce length mismatch")
+	}
+	c.Reduce(me, 0, in, out, op)
+	buf := make([]byte, 8*len(in))
+	if me == 0 {
+		copy(buf, f64bytes(out))
+	}
+	c.Bcast(me, 0, buf)
+	bytesF64(buf, out)
+}
+
+// Scatter splits root's data (len = n*chunk bytes) into per-rank chunks;
+// every rank receives its chunk into out (len = chunk).
+func (c *Comm) Scatter(me, root int, data []byte, out []byte) {
+	n := len(c.cores)
+	chunk := len(out)
+	if me == root {
+		if len(data) != n*chunk {
+			panic(fmt.Sprintf("rcce: scatter %d bytes over %d ranks x %d", len(data), n, chunk))
+		}
+		copy(out, data[root*chunk:(root+1)*chunk])
+		for r := 0; r < n; r++ {
+			if r != root {
+				c.Send(me, data[r*chunk:(r+1)*chunk], r)
+			}
+		}
+		return
+	}
+	c.Recv(me, out, root)
+}
+
+// Gather collects every rank's in chunk at the root into out
+// (len = n*len(in)), in rank order.
+func (c *Comm) Gather(me, root int, in []byte, out []byte) {
+	n := len(c.cores)
+	chunk := len(in)
+	if me == root {
+		if len(out) != n*chunk {
+			panic(fmt.Sprintf("rcce: gather %d ranks x %d into %d bytes", n, chunk, len(out)))
+		}
+		copy(out[root*chunk:], in)
+		for r := 0; r < n; r++ {
+			if r != root {
+				c.Recv(me, out[r*chunk:(r+1)*chunk], r)
+			}
+		}
+		return
+	}
+	c.Send(me, in, root)
+}

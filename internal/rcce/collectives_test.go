@@ -1,0 +1,152 @@
+package rcce
+
+import (
+	"bytes"
+	"testing"
+
+	"metalsvm/internal/cpu"
+)
+
+func TestReduceSum(t *testing.T) {
+	cores := []int{0, 5, 30, 47}
+	eng, chip, comm := newComm(t, cores)
+	var got []float64
+	for r := range cores {
+		r := r
+		chip.Boot(cores[r], func(c *cpu.Core) {
+			in := []float64{float64(r + 1), float64(10 * (r + 1))}
+			out := make([]float64, 2)
+			comm.Reduce(r, 0, in, out, OpSum)
+			if r == 0 {
+				got = out
+			}
+		})
+	}
+	eng.Run()
+	eng.Shutdown()
+	if got[0] != 1+2+3+4 || got[1] != 10+20+30+40 {
+		t.Fatalf("reduce = %v", got)
+	}
+}
+
+func TestReduceMinMax(t *testing.T) {
+	cores := []int{0, 1, 2}
+	eng, chip, comm := newComm(t, cores)
+	var mins, maxs []float64
+	for r := range cores {
+		r := r
+		chip.Boot(cores[r], func(c *cpu.Core) {
+			in := []float64{float64(r) - 1}
+			outMin := make([]float64, 1)
+			comm.Reduce(r, 0, in, outMin, OpMin)
+			outMax := make([]float64, 1)
+			comm.Reduce(r, 0, in, outMax, OpMax)
+			if r == 0 {
+				mins, maxs = outMin, outMax
+			}
+		})
+	}
+	eng.Run()
+	eng.Shutdown()
+	if mins[0] != -1 || maxs[0] != 1 {
+		t.Fatalf("min=%v max=%v", mins, maxs)
+	}
+}
+
+func TestAllreduceEveryRankSeesResult(t *testing.T) {
+	cores := []int{0, 11, 30, 41}
+	eng, chip, comm := newComm(t, cores)
+	results := make([][]float64, len(cores))
+	for r := range cores {
+		r := r
+		chip.Boot(cores[r], func(c *cpu.Core) {
+			out := make([]float64, 1)
+			comm.Allreduce(r, []float64{float64(r + 1)}, out, OpSum)
+			results[r] = out
+		})
+	}
+	eng.Run()
+	eng.Shutdown()
+	for r, v := range results {
+		if v[0] != 1+2+3+4 {
+			t.Fatalf("rank %d allreduce = %v", r, v)
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	cores := []int{0, 2, 30, 46}
+	eng, chip, comm := newComm(t, cores)
+	n := len(cores)
+	const chunk = 100
+	full := pattern(n*chunk, 3)
+	gathered := make([]byte, n*chunk)
+	for r := range cores {
+		r := r
+		chip.Boot(cores[r], func(c *cpu.Core) {
+			mine := make([]byte, chunk)
+			comm.Scatter(r, 0, full, mine)
+			if !bytes.Equal(mine, full[r*chunk:(r+1)*chunk]) {
+				t.Errorf("rank %d got wrong scatter chunk", r)
+			}
+			// Transform, then gather back.
+			for i := range mine {
+				mine[i] ^= 0xff
+			}
+			comm.Gather(r, 0, mine, gathered)
+		})
+	}
+	eng.Run()
+	eng.Shutdown()
+	for i := range gathered {
+		if gathered[i] != full[i]^0xff {
+			t.Fatalf("gather byte %d = %#x", i, gathered[i])
+		}
+	}
+}
+
+func TestScatterValidatesLengths(t *testing.T) {
+	cores := []int{0, 1}
+	eng, chip, comm := newComm(t, cores)
+	panicked := false
+	chip.Boot(0, func(c *cpu.Core) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		comm.Scatter(0, 0, make([]byte, 5), make([]byte, 4)) // 5 != 2*4
+	})
+	chip.Boot(30, func(c *cpu.Core) {})
+	eng.Run()
+	eng.Shutdown()
+	if !panicked {
+		t.Fatal("bad scatter geometry accepted")
+	}
+}
+
+func TestReduceDeterministicOrder(t *testing.T) {
+	// Floating-point reduction order is fixed (ascending rank), so results
+	// are identical run to run.
+	run := func() float64 {
+		cores := []int{0, 1, 2, 3, 4, 5}
+		eng, chip, comm := newComm(t, cores)
+		var out float64
+		for r := range cores {
+			r := r
+			chip.Boot(cores[r], func(c *cpu.Core) {
+				res := make([]float64, 1)
+				comm.Reduce(r, 0, []float64{0.1 * float64(r+1)}, res, OpSum)
+				if r == 0 {
+					out = res[0]
+				}
+			})
+		}
+		eng.Run()
+		eng.Shutdown()
+		return out
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("reduce nondeterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,102 @@
+package rcce
+
+import (
+	"bytes"
+	"testing"
+
+	"metalsvm/internal/cpu"
+	"metalsvm/internal/sim"
+)
+
+func TestTestDrivesProgressToCompletion(t *testing.T) {
+	eng, chip, comm := newComm(t, []int{0, 30})
+	n := 64
+	want := pattern(n, 2)
+	got := make([]byte, n)
+	var polls int
+	chip.Boot(0, func(c *cpu.Core) {
+		r := comm.Isend(0, want, 1)
+		for !comm.Test(0, r) {
+			polls++
+			c.Cycles(500)
+		}
+	})
+	chip.Boot(30, func(c *cpu.Core) {
+		r := comm.Irecv(1, got, 0)
+		for !comm.Test(1, r) {
+			c.Cycles(500)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload corrupted under Test-driven progress")
+	}
+}
+
+func TestTestAll(t *testing.T) {
+	eng, chip, comm := newComm(t, []int{0, 1, 2})
+	bufA := make([]byte, 32)
+	bufB := make([]byte, 32)
+	chip.Boot(0, func(c *cpu.Core) {
+		ra := comm.Irecv(0, bufA, 1)
+		rb := comm.Irecv(0, bufB, 2)
+		for !comm.TestAll(0, ra, rb) {
+			c.Cycles(500)
+		}
+	})
+	chip.Boot(1, func(c *cpu.Core) { comm.Send(1, pattern(32, 1), 0) })
+	chip.Boot(2, func(c *cpu.Core) { comm.Send(2, pattern(32, 2), 0) })
+	eng.Run()
+	eng.Shutdown()
+	if !bytes.Equal(bufA, pattern(32, 1)) || !bytes.Equal(bufB, pattern(32, 2)) {
+		t.Fatal("TestAll lost a payload")
+	}
+}
+
+func TestWaitAnyOfReturnsFirstDone(t *testing.T) {
+	eng, chip, comm := newComm(t, []int{0, 1, 30})
+	early := make([]byte, 32)
+	late := make([]byte, 32)
+	var first int
+	chip.Boot(0, func(c *cpu.Core) {
+		rLate := comm.Irecv(0, late, 2)   // rank 2 sends much later
+		rEarly := comm.Irecv(0, early, 1) // rank 1 sends immediately
+		first = comm.WaitAnyOf(0, rLate, rEarly)
+		comm.Wait(0, rLate, rEarly)
+	})
+	chip.Boot(1, func(c *cpu.Core) {
+		comm.Send(1, pattern(32, 7), 0)
+	})
+	chip.Boot(30, func(c *cpu.Core) {
+		c.Proc().Advance(sim.Microseconds(500))
+		c.Sync()
+		comm.Send(2, pattern(32, 9), 0)
+	})
+	eng.Run()
+	eng.Shutdown()
+	if first != 1 {
+		t.Fatalf("WaitAnyOf returned index %d, want 1 (the early sender)", first)
+	}
+	if !bytes.Equal(early, pattern(32, 7)) || !bytes.Equal(late, pattern(32, 9)) {
+		t.Fatal("payloads corrupted")
+	}
+}
+
+func TestWaitAnyOfEmptyPanics(t *testing.T) {
+	eng, chip, comm := newComm(t, []int{0, 1})
+	panicked := false
+	chip.Boot(0, func(c *cpu.Core) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		comm.WaitAnyOf(0)
+	})
+	eng.Run()
+	eng.Shutdown()
+	if !panicked {
+		t.Fatal("empty WaitAnyOf accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Package report renders chip-wide statistics after a simulation run: the
+// per-core cache behavior, write-combine buffer effectiveness, mailbox
+// traffic, and SVM protocol counters. It reads the models' counters — it
+// never perturbs a run.
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"metalsvm/internal/kernel"
+	"metalsvm/internal/mailbox"
+	"metalsvm/internal/scc"
+	"metalsvm/internal/stats"
+	"metalsvm/internal/svm"
+)
+
+// CoreRow summarizes one core's memory behavior.
+type CoreRow struct {
+	Core          int
+	Loads, Stores uint64
+	L1HitRate     float64
+	L2HitRate     float64 // of L1 misses; NaN-free: 0 when unused
+	WCBCombining  float64 // stores per memory transaction through the WCB
+	Faults        uint64
+	IRQs          uint64
+}
+
+// CollectCores gathers rows for the given cores (skip cores that never
+// ran: their counters are zero).
+func CollectCores(chip *scc.Chip, cores []int) []CoreRow {
+	var rows []CoreRow
+	for _, id := range cores {
+		c := chip.Core(id)
+		cs := c.Stats()
+		l1 := c.L1().Stats()
+		row := CoreRow{
+			Core:   id,
+			Loads:  cs.Loads,
+			Stores: cs.Stores,
+			Faults: cs.Faults,
+			IRQs:   cs.IRQs,
+		}
+		if tot := l1.Hits + l1.Misses; tot > 0 {
+			row.L1HitRate = float64(l1.Hits) / float64(tot)
+		}
+		if l2 := c.L2(); l2 != nil {
+			s := l2.Stats()
+			if tot := s.Hits + s.Misses; tot > 0 {
+				row.L2HitRate = float64(s.Hits) / float64(tot)
+			}
+		}
+		w := c.WCB().Stats()
+		if w.Flushes > 0 {
+			row.WCBCombining = float64(w.Writes) / float64(w.Flushes)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteCores renders the core table.
+func WriteCores(w io.Writer, rows []CoreRow) {
+	t := stats.NewTable("core", "loads", "stores", "L1 hit", "L2 hit", "WCB x", "faults", "irqs")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprint(r.Core),
+			fmt.Sprint(r.Loads),
+			fmt.Sprint(r.Stores),
+			fmt.Sprintf("%.1f%%", 100*r.L1HitRate),
+			fmt.Sprintf("%.1f%%", 100*r.L2HitRate),
+			fmt.Sprintf("%.1f", r.WCBCombining),
+			fmt.Sprint(r.Faults),
+			fmt.Sprint(r.IRQs),
+		)
+	}
+	fmt.Fprint(w, t)
+}
+
+// WriteMailbox renders the mailbox layer's counters.
+func WriteMailbox(w io.Writer, mb *mailbox.System) {
+	s := mb.Stats()
+	fmt.Fprintf(w, "mailbox (%v): %d sends, %d recvs, %d checks, %d busy-waits, %d IPIs\n",
+		mb.Mode(), s.Sends, s.Recvs, s.Checks, s.BusyWaits, s.IPIs)
+}
+
+// WriteSVM renders the SVM protocol counters for every attached kernel.
+func WriteSVM(w io.Writer, cl *kernel.Cluster, sys *svm.System) {
+	t := stats.NewTable("core", "faults", "first-touch", "map-existing", "own-req", "own-served", "fwd", "retry")
+	for _, id := range cl.Members() {
+		h := sys.Handle(id)
+		if h == nil {
+			continue
+		}
+		s := h.Stats()
+		t.AddRow(
+			fmt.Sprint(id),
+			fmt.Sprint(s.Faults),
+			fmt.Sprint(s.FirstTouches),
+			fmt.Sprint(s.MapExisting),
+			fmt.Sprint(s.OwnerRequests),
+			fmt.Sprint(s.OwnerServed),
+			fmt.Sprint(s.Forwards),
+			fmt.Sprint(s.Retries),
+		)
+	}
+	fmt.Fprint(w, t)
+}

@@ -1,0 +1,286 @@
+// Package scc assembles the full Single-chip Cloud Computer platform model:
+// 48 P54C cores on a 6x4 tile mesh, four DDR3 memory controllers, the
+// per-core 8 KiB message-passing buffers (MPBs), the test-and-set
+// registers, and the system FPGA's global interrupt controller.
+//
+// The Chip implements the cores' memory bus (data path, optimistic timing)
+// and offers synchronous, globally ordered primitives for the protocol
+// layers: MPB reads/writes, test-and-set, uncached physical memory access,
+// and IPIs. See internal/sim for the ordering discipline.
+package scc
+
+import (
+	"fmt"
+
+	"metalsvm/internal/cache"
+	"metalsvm/internal/cpu"
+	"metalsvm/internal/gic"
+	"metalsvm/internal/mesh"
+	"metalsvm/internal/pgtable"
+	"metalsvm/internal/phys"
+	"metalsvm/internal/sim"
+	"metalsvm/internal/trace"
+)
+
+// VirtSharedBase is the virtual address where every kernel maps the SVM
+// region. Private memory is identity-mapped per core below it.
+const VirtSharedBase uint32 = 0x8000_0000
+
+// LatencyConfig holds the platform latency constants. Values are in cycles
+// of the named clock domain; the defaults approximate the numbers in the
+// SCC Programmer's Guide for the paper's 533/800/800 MHz configuration.
+type LatencyConfig struct {
+	// DDRCoreCycles: core-side fixed cost of a DDR transaction (request
+	// issue, miss handling).
+	DDRCoreCycles uint64
+	// DDRMemCycles: DRAM array access for a line read, in memory-clock
+	// cycles.
+	DDRMemCycles uint64
+	// DDRWriteMemCycles: DRAM-side cost of one write transaction (word or
+	// line). Uncombined word stores additionally pay the full mesh round
+	// trip core-side (the P54C write path cannot pipeline mesh-remote
+	// stores), which is why the paper calls them "like write accesses to
+	// an uncachable memory region"; combined line writes are posted.
+	DDRWriteMemCycles uint64
+	// MPBCoreCycles: fixed cost of an MPB access before mesh traversal.
+	MPBCoreCycles uint64
+	// TASCoreCycles: fixed cost of a test-and-set register access.
+	TASCoreCycles uint64
+	// MailCheckCycles: cost of checking one mailbox receive slot (the paper
+	// reports 100 core cycles).
+	MailCheckCycles uint64
+	// IPIRaiseCoreCycles: core-side cost of poking the GIC.
+	IPIRaiseCoreCycles uint64
+	// GICCycles: FPGA-side processing per IPI, in mesh-clock cycles (the
+	// GIC sits behind the system interface).
+	GICCycles uint64
+}
+
+// DefaultLatencies returns the calibrated defaults.
+func DefaultLatencies() LatencyConfig {
+	return LatencyConfig{
+		DDRCoreCycles:      40,
+		DDRMemCycles:       46,
+		DDRWriteMemCycles:  46,
+		MPBCoreCycles:      15,
+		TASCoreCycles:      15,
+		MailCheckCycles:    100,
+		IPIRaiseCoreCycles: 20,
+		GICCycles:          32,
+	}
+}
+
+// Config describes a whole chip.
+type Config struct {
+	Mesh mesh.Config
+	Core cpu.Config
+	// MemClock is the DDR3 clock (the paper: 800 MHz).
+	MemClock sim.Clock
+	Lat      LatencyConfig
+	// PrivateMemPerCore is each core's private off-die region size.
+	PrivateMemPerCore uint32
+	// SharedMem is the shared off-die region size (the SVM pool).
+	SharedMem uint32
+	// GICPort is the mesh position of the system interface the GIC sits
+	// behind.
+	GICPort mesh.Coord
+}
+
+// DefaultConfig returns the platform as configured in the paper's
+// evaluation: 533 MHz cores, 800 MHz mesh and memory.
+func DefaultConfig() Config {
+	return Config{
+		Mesh:              mesh.DefaultConfig(),
+		Core:              cpu.DefaultConfig(),
+		MemClock:          sim.MHz(800),
+		Lat:               DefaultLatencies(),
+		PrivateMemPerCore: 16 << 20,
+		SharedMem:         64 << 20,
+		GICPort:           mesh.Coord{X: 3, Y: 0},
+	}
+}
+
+// Chip is the assembled platform.
+type Chip struct {
+	cfg    Config
+	eng    *sim.Engine
+	mesh   *mesh.Mesh
+	layout *phys.Layout
+	mem    *phys.Mem
+	mpb    *phys.MPB
+	tas    *phys.TAS
+	gic    *gic.Controller
+	cores  []*cpu.Core
+
+	// MPB layout: mailbox slots first, then the SVM scratchpad, then the
+	// general-purpose (RCCE) area.
+	scratchOff int
+	rcceOff    int
+
+	// tracer, when set, records protocol events from every layer.
+	tracer *trace.Buffer
+}
+
+// SetTracer installs an event buffer; nil disables tracing.
+func (ch *Chip) SetTracer(b *trace.Buffer) { ch.tracer = b }
+
+// Tracer returns the installed event buffer (possibly nil; trace.Buffer
+// methods accept nil receivers).
+func (ch *Chip) Tracer() *trace.Buffer { return ch.tracer }
+
+// New builds a chip for the engine.
+func New(eng *sim.Engine, cfg Config) (*Chip, error) {
+	m, err := mesh.New(cfg.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Cores()
+	coreMC := make([]int, n)
+	for c := 0; c < n; c++ {
+		coreMC[c] = m.NearestController(c)
+	}
+	layout, err := phys.NewLayout(pgtable.PageSize, cfg.PrivateMemPerCore, cfg.SharedMem,
+		m.ControllerCount(), coreMC)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MemClock.PeriodPS == 0 {
+		return nil, fmt.Errorf("scc: zero memory clock")
+	}
+	ch := &Chip{
+		cfg:    cfg,
+		eng:    eng,
+		mesh:   m,
+		layout: layout,
+		mem:    phys.NewMem(layout.Total(), pgtable.PageSize),
+		mpb:    phys.NewMPB(n, phys.MPBBytesPerCore),
+		tas:    phys.NewTAS(n),
+		gic:    gic.New(n),
+		cores:  make([]*cpu.Core, n),
+	}
+	// MPB layout: n mailbox slots of one line each, then the scratchpad
+	// (16-bit entry per shared page, distributed round-robin over cores).
+	ch.scratchOff = n * phys.CacheLine
+	sharedPages := int(layout.SharedFrames())
+	perCore := (sharedPages + n - 1) / n * 2
+	ch.rcceOff = ch.scratchOff + perCore
+	if ch.rcceOff > phys.MPBBytesPerCore {
+		return nil, fmt.Errorf("scc: MPB overcommitted: mailboxes+scratchpad need %d of %d bytes (shrink SharedMem or move the scratchpad off-die)",
+			ch.rcceOff, phys.MPBBytesPerCore)
+	}
+	for c := 0; c < n; c++ {
+		ch.cores[c] = cpu.New(c, cfg.Core, ch)
+	}
+	return ch, nil
+}
+
+// Engine returns the simulation engine.
+func (ch *Chip) Engine() *sim.Engine { return ch.eng }
+
+// Mesh returns the mesh model.
+func (ch *Chip) Mesh() *mesh.Mesh { return ch.mesh }
+
+// Layout returns the physical memory layout.
+func (ch *Chip) Layout() *phys.Layout { return ch.layout }
+
+// Mem returns the off-die memory (tests, diagnostics).
+func (ch *Chip) Mem() *phys.Mem { return ch.mem }
+
+// MPB returns the on-die buffers (tests, diagnostics).
+func (ch *Chip) MPB() *phys.MPB { return ch.mpb }
+
+// GIC returns the interrupt controller.
+func (ch *Chip) GIC() *gic.Controller { return ch.gic }
+
+// Cores returns the core count.
+func (ch *Chip) Cores() int { return len(ch.cores) }
+
+// Core returns core id's model.
+func (ch *Chip) Core(id int) *cpu.Core { return ch.cores[id] }
+
+// Config returns the chip configuration.
+func (ch *Chip) Config() Config { return ch.cfg }
+
+// ScratchpadMPBOffset returns where the SVM scratchpad starts in each MPB.
+func (ch *Chip) ScratchpadMPBOffset() int { return ch.scratchOff }
+
+// GeneralMPBOffset returns where the general (RCCE) MPB area starts.
+func (ch *Chip) GeneralMPBOffset() int { return ch.rcceOff }
+
+// GeneralMPBSize returns the general area's size per core.
+func (ch *Chip) GeneralMPBSize() int { return phys.MPBBytesPerCore - ch.rcceOff }
+
+// Boot binds core id to a new simulation process running body, with the
+// core's private region identity-mapped (virtual address == offset within
+// the private region) as cached write-through memory.
+func (ch *Chip) Boot(id int, body func(*cpu.Core)) *cpu.Core {
+	c := ch.cores[id]
+	proc := ch.eng.NewProc(fmt.Sprintf("core%d", id), 0, func(p *sim.Proc) {
+		body(c)
+	})
+	c.Bind(proc)
+	base := ch.layout.PrivateBase(id)
+	for off := uint32(0); off < ch.cfg.PrivateMemPerCore; off += pgtable.PageSize {
+		c.Table.Map(off, (base+off)>>pgtable.PageShift,
+			pgtable.Present|pgtable.Writable|pgtable.WriteThrough)
+	}
+	return c
+}
+
+// --- Memory bus (cpu.MemoryBus): optimistic data path --------------------
+
+func (ch *Chip) coreClock() sim.Clock { return ch.cfg.Core.Clock }
+
+// ddrReadLatency is the full line-read path: core-side cost, mesh round
+// trip to the serving controller, DRAM access.
+func (ch *Chip) ddrReadLatency(core int, paddr uint32) sim.Duration {
+	mc := ch.layout.ControllerOf(paddr)
+	hops := ch.mesh.HopsToController(core, mc)
+	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles) +
+		ch.mesh.RoundTrip(hops) +
+		ch.cfg.MemClock.Cycles(ch.cfg.Lat.DDRMemCycles)
+}
+
+// ddrWordWriteLatency is an uncombined write-through store: the core stalls
+// for the full mesh round trip plus the DRAM write — as expensive as a
+// read. This is the paper's "like write accesses to an uncachable memory
+// region" cost.
+func (ch *Chip) ddrWordWriteLatency(core int, paddr uint32) sim.Duration {
+	mc := ch.layout.ControllerOf(paddr)
+	hops := ch.mesh.HopsToController(core, mc)
+	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles) +
+		ch.mesh.RoundTrip(hops) +
+		ch.cfg.MemClock.Cycles(ch.cfg.Lat.DDRWriteMemCycles)
+}
+
+// ddrLineWriteLatency is a combined (whole line or masked line) write —
+// posted: one-way mesh traversal plus the DRAM burst.
+func (ch *Chip) ddrLineWriteLatency(core int, paddr uint32) sim.Duration {
+	mc := ch.layout.ControllerOf(paddr)
+	hops := ch.mesh.HopsToController(core, mc)
+	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles/2) +
+		ch.mesh.OneWay(hops) +
+		ch.cfg.MemClock.Cycles(ch.cfg.Lat.DDRWriteMemCycles)
+}
+
+// FetchLine implements cpu.MemoryBus.
+func (ch *Chip) FetchLine(core int, lineAddr uint32, dst []byte) sim.Duration {
+	ch.mem.Read(lineAddr, dst)
+	return ch.ddrReadLatency(core, lineAddr)
+}
+
+// WriteMem implements cpu.MemoryBus.
+func (ch *Chip) WriteMem(core int, paddr uint32, data []byte) sim.Duration {
+	ch.mem.Write(paddr, data)
+	return ch.ddrWordWriteLatency(core, paddr)
+}
+
+// WriteMaskedLine implements cpu.MemoryBus: one transaction for a combined
+// line, regardless of how many bytes it carries.
+func (ch *Chip) WriteMaskedLine(core int, f cache.Flushed) sim.Duration {
+	var line [cache.LineSize]byte
+	ch.mem.Read(f.LineAddr, line[:])
+	f.Apply(line[:])
+	ch.mem.Write(f.LineAddr, line[:])
+	return ch.ddrLineWriteLatency(core, f.LineAddr)
+}

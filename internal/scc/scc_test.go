@@ -1,0 +1,272 @@
+package scc
+
+import (
+	"testing"
+
+	"metalsvm/internal/cache"
+	"metalsvm/internal/cpu"
+	"metalsvm/internal/sim"
+)
+
+func newChip(t *testing.T) (*sim.Engine, *Chip) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.PrivateMemPerCore = 1 << 20 // keep boot mapping small in tests
+	cfg.SharedMem = 16 << 20
+	ch, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, ch
+}
+
+func TestChipGeometry(t *testing.T) {
+	_, ch := newChip(t)
+	if ch.Cores() != 48 {
+		t.Fatalf("cores = %d", ch.Cores())
+	}
+	if ch.Layout().SharedFrames() != (16<<20)/4096 {
+		t.Fatalf("shared frames = %d", ch.Layout().SharedFrames())
+	}
+	// MPB layout: 48 mailbox lines, then scratchpad, then >0 general space.
+	if ch.ScratchpadMPBOffset() != 48*32 {
+		t.Fatalf("scratch offset = %d", ch.ScratchpadMPBOffset())
+	}
+	if ch.GeneralMPBSize() <= 0 {
+		t.Fatal("no general MPB space left")
+	}
+}
+
+func TestMPBOvercommitRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.SharedMem = 1 << 30 // 256K pages: scratchpad would not fit
+	if _, err := New(eng, cfg); err == nil {
+		t.Fatal("oversized scratchpad accepted")
+	}
+}
+
+func TestBootIdentityMapsPrivateMemory(t *testing.T) {
+	eng, ch := newChip(t)
+	var got uint64
+	ch.Boot(3, func(c *cpu.Core) {
+		c.Store64(0x1000, 0xabc)
+		got = c.Load64(0x1000)
+	})
+	eng.Run()
+	eng.Shutdown()
+	if got != 0xabc {
+		t.Fatalf("private round trip = %#x", got)
+	}
+	// The bytes must land in core 3's private region, not core 0's.
+	if v := ch.Mem().Read64(ch.Layout().PrivateBase(3) + 0x1000); v != 0xabc {
+		t.Fatalf("private phys = %#x", v)
+	}
+	if v := ch.Mem().Read64(ch.Layout().PrivateBase(0) + 0x1000); v != 0 {
+		t.Fatalf("core 0 region polluted: %#x", v)
+	}
+}
+
+func TestPrivateMemoryIsolation(t *testing.T) {
+	eng, ch := newChip(t)
+	var v5 uint64
+	ch.Boot(4, func(c *cpu.Core) {
+		c.Store64(0x2000, 444)
+	})
+	ch.Boot(5, func(c *cpu.Core) {
+		c.Proc().Advance(sim.Microseconds(100)) // run after core 4
+		c.Sync()
+		v5 = c.Load64(0x2000)
+	})
+	eng.Run()
+	eng.Shutdown()
+	if v5 != 0 {
+		t.Fatalf("core 5 sees core 4's private data: %d", v5)
+	}
+}
+
+func TestDDRLatencyDependsOnDistance(t *testing.T) {
+	_, ch := newChip(t)
+	// Core 0 is adjacent to its own controller; its access to a frame on
+	// the far controller must cost more.
+	nearAddr := ch.Layout().PrivateBase(0)
+	farAddr := ch.Layout().PrivateBase(47)
+	var buf [32]byte
+	near := ch.FetchLine(0, nearAddr, buf[:])
+	far := ch.FetchLine(0, farAddr, buf[:])
+	if far <= near {
+		t.Fatalf("far fetch (%d ps) not slower than near (%d ps)", far, near)
+	}
+}
+
+func TestWriteLatencies(t *testing.T) {
+	_, ch := newChip(t)
+	addr := ch.Layout().PrivateBase(0)
+	var buf [32]byte
+	read := ch.FetchLine(0, addr, buf[:])
+	// An uncombined word store stalls for the full round trip — as
+	// expensive as a read (the paper's "like uncachable memory" cost).
+	word := ch.WriteMem(0, addr, buf[:8])
+	if word < read {
+		t.Fatalf("word write (%d) cheaper than read (%d); it must pay the full round trip", word, read)
+	}
+	// A combined line write is posted and must be cheaper per transaction.
+	line := ch.WriteMaskedLine(0, cache.Flushed{LineAddr: addr, Mask: 0xffffffff})
+	if line >= word {
+		t.Fatalf("posted line write (%d) not cheaper than word write (%d)", line, word)
+	}
+}
+
+func TestSyncMPBOrdering(t *testing.T) {
+	eng, ch := newChip(t)
+	var sawByCore1 byte
+	ch.Boot(0, func(c *cpu.Core) {
+		c.Proc().Advance(sim.Microseconds(1))
+		ch.MPBSetByte(0, 1, 100, 7) // write core 1's MPB at ~1us
+	})
+	ch.Boot(1, func(c *cpu.Core) {
+		c.Proc().Advance(sim.Microseconds(10)) // well after the write lands
+		sawByCore1 = ch.MPBByte(1, 1, 100)
+	})
+	eng.Run()
+	eng.Shutdown()
+	if sawByCore1 != 7 {
+		t.Fatalf("MPB write not visible: %d", sawByCore1)
+	}
+}
+
+func TestMPBLatencyScalesWithDistance(t *testing.T) {
+	eng, ch := newChip(t)
+	var near, far sim.Duration
+	ch.Boot(0, func(c *cpu.Core) {
+		start := c.Now()
+		ch.MPBByte(0, 1, 0) // same tile
+		near = c.Now() - start
+		start = c.Now()
+		ch.MPBByte(0, 47, 0) // 8 hops away
+		far = c.Now() - start
+	})
+	eng.Run()
+	eng.Shutdown()
+	if far <= near {
+		t.Fatalf("remote MPB (%d) not slower than local (%d)", far, near)
+	}
+	// 8 hops of 4 mesh cycles round trip = 64 cycles * 1250 ps = 80 ns.
+	if diff := far - near; diff != 80_000 {
+		t.Fatalf("distance premium = %d ps, want 80000", diff)
+	}
+}
+
+func TestTASMutualExclusion(t *testing.T) {
+	eng, ch := newChip(t)
+	holders := 0
+	maxHolders := 0
+	for id := 0; id < 4; id++ {
+		ch.Boot(id, func(c *cpu.Core) {
+			for i := 0; i < 10; i++ {
+				for !ch.TASLock(c.ID(), 7) {
+					c.Cycles(50)
+				}
+				holders++
+				if holders > maxHolders {
+					maxHolders = holders
+				}
+				c.Cycles(200) // critical section work
+				holders--
+				ch.TASUnlock(c.ID(), 7)
+			}
+		})
+	}
+	eng.Run()
+	eng.Shutdown()
+	if maxHolders != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", maxHolders)
+	}
+}
+
+func TestPhysWordAccess(t *testing.T) {
+	eng, ch := newChip(t)
+	var got uint32
+	ch.Boot(0, func(c *cpu.Core) {
+		base := ch.Layout().SharedBase()
+		ch.PhysWrite32(0, base+64, 0xfeed)
+		got = ch.PhysRead32(0, base+64)
+	})
+	eng.Run()
+	eng.Shutdown()
+	if got != 0xfeed {
+		t.Fatalf("phys word = %#x", got)
+	}
+}
+
+func TestIPIDelivery(t *testing.T) {
+	eng, ch := newChip(t)
+	var origin int
+	var deliveredAt sim.Time
+	ch.Boot(30, func(c *cpu.Core) {
+		c.SetIRQHandler(func(c *cpu.Core, irq cpu.IRQ) {
+			if irq == cpu.IRQIPI {
+				if f, ok := ch.GIC().Claim(30); ok {
+					origin = f
+					deliveredAt = c.Now()
+				}
+			}
+		})
+		c.Proc().Wait() // idle until the IPI arrives
+	})
+	ch.Boot(0, func(c *cpu.Core) {
+		c.Proc().Advance(sim.Microseconds(5))
+		ch.RaiseIPI(0, 30)
+	})
+	eng.Run()
+	eng.Shutdown()
+	if origin != 0 {
+		t.Fatalf("IPI origin = %d, want 0 (GIC must identify the raiser)", origin)
+	}
+	if deliveredAt <= sim.Microseconds(5) {
+		t.Fatalf("IPI delivered at %v, before it was raised", deliveredAt)
+	}
+}
+
+func TestZeroSharedFrameCostsLineWrites(t *testing.T) {
+	eng, ch := newChip(t)
+	var cost sim.Duration
+	ch.Boot(0, func(c *cpu.Core) {
+		base := ch.Layout().SharedBase()
+		ch.Mem().Write64(uint32(base)+8, 0xdead) // dirty the frame
+		start := c.Now()
+		ch.ZeroSharedFrame(0, base)
+		cost = c.Now() - start
+	})
+	eng.Run()
+	eng.Shutdown()
+	if v := ch.Mem().Read64(ch.Layout().SharedBase() + 8); v != 0 {
+		t.Fatalf("frame not zeroed: %#x", v)
+	}
+	// 128 line writes; each is at least the DRAM write cost (30 cycles at
+	// 800 MHz = 37.5 ns).
+	if cost < 128*30_000 {
+		t.Fatalf("zeroing cost %d ps implausibly low", cost)
+	}
+}
+
+func TestDeterministicBoot(t *testing.T) {
+	run := func() sim.Time {
+		eng, ch := newChip(t)
+		for id := 0; id < 8; id++ {
+			ch.Boot(id, func(c *cpu.Core) {
+				for i := 0; i < 20; i++ {
+					ch.MPBSetByte(c.ID(), (c.ID()+1)%8, 0, byte(i))
+					c.Cycles(uint64(100 * (c.ID() + 1)))
+				}
+			})
+		}
+		end := eng.Run()
+		eng.Shutdown()
+		return end
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,185 @@
+package scc
+
+import (
+	"metalsvm/internal/cpu"
+	"metalsvm/internal/sim"
+	"metalsvm/internal/trace"
+)
+
+// This file holds the chip's synchronous primitives: operations whose
+// effects must be globally ordered (mailbox flags, test-and-set, ownership
+// metadata, IPIs). Each one syncs the issuing core to global time, charges
+// the transaction latency, syncs again, and only then applies the
+// functional effect — so the effect lands exactly at its completion time
+// and every other synced observer sees a consistent order.
+
+func (ch *Chip) syncCharge(core int, lat sim.Duration) *cpu.Core {
+	c := ch.cores[core]
+	c.Sync()
+	c.Proc().Advance(lat)
+	c.Sync()
+	return c
+}
+
+// mpbLatency is an MPB access from core to owner's buffer: fixed core-side
+// cost plus a mesh round trip (zero hops when owner shares the tile; the
+// local fixed cost still applies, as measured on the SCC).
+func (ch *Chip) mpbLatency(core, owner int) sim.Duration {
+	return ch.coreClock().Cycles(ch.cfg.Lat.MPBCoreCycles) +
+		ch.mesh.RoundTrip(ch.mesh.HopsCores(core, owner))
+}
+
+// MPBRead synchronously reads from owner's MPB on behalf of core.
+func (ch *Chip) MPBRead(core, owner, off int, dst []byte) {
+	ch.syncCharge(core, ch.mpbLatency(core, owner))
+	ch.mpb.Read(owner, off, dst)
+}
+
+// MPBWrite synchronously writes to owner's MPB on behalf of core.
+func (ch *Chip) MPBWrite(core, owner, off int, src []byte) {
+	ch.syncCharge(core, ch.mpbLatency(core, owner))
+	ch.mpb.Write(owner, off, src)
+}
+
+// MPBRead16 reads a 16-bit word from owner's MPB.
+func (ch *Chip) MPBRead16(core, owner, off int) uint16 {
+	ch.syncCharge(core, ch.mpbLatency(core, owner))
+	return ch.mpb.Read16(owner, off)
+}
+
+// MPBWrite16 writes a 16-bit word to owner's MPB.
+func (ch *Chip) MPBWrite16(core, owner, off int, v uint16) {
+	ch.syncCharge(core, ch.mpbLatency(core, owner))
+	ch.mpb.Write16(owner, off, v)
+}
+
+// MPBByte reads one byte from owner's MPB (flag checks).
+func (ch *Chip) MPBByte(core, owner, off int) byte {
+	ch.syncCharge(core, ch.mpbLatency(core, owner))
+	return ch.mpb.Byte(owner, off)
+}
+
+// MPBSetByte writes one byte to owner's MPB (flag toggles).
+func (ch *Chip) MPBSetByte(core, owner, off int, v byte) {
+	ch.syncCharge(core, ch.mpbLatency(core, owner))
+	ch.mpb.SetByte(owner, off, v)
+}
+
+func (ch *Chip) tasLatency(core, reg int) sim.Duration {
+	return ch.coreClock().Cycles(ch.cfg.Lat.TASCoreCycles) +
+		ch.mesh.RoundTrip(ch.mesh.HopsCores(core, reg))
+}
+
+// TASLock attempts the test-and-set register reg on behalf of core,
+// reporting whether the lock was acquired.
+func (ch *Chip) TASLock(core, reg int) bool {
+	ch.syncCharge(core, ch.tasLatency(core, reg))
+	return ch.tas.TestAndSet(reg)
+}
+
+// TASUnlock releases the test-and-set register.
+func (ch *Chip) TASUnlock(core, reg int) {
+	ch.syncCharge(core, ch.tasLatency(core, reg))
+	ch.tas.Clear(reg)
+}
+
+// uncachedLatency is a synchronous uncached DDR access (the SVM metadata —
+// ownership vector — lives in uncached shared memory).
+func (ch *Chip) uncachedLatency(core int, paddr uint32) sim.Duration {
+	return ch.ddrReadLatency(core, paddr)
+}
+
+// PhysRead64 synchronously reads an uncached 64-bit word of physical
+// memory.
+func (ch *Chip) PhysRead64(core int, paddr uint32) uint64 {
+	ch.syncCharge(core, ch.uncachedLatency(core, paddr))
+	return ch.mem.Read64(paddr)
+}
+
+// PhysWrite64 synchronously writes an uncached 64-bit word.
+func (ch *Chip) PhysWrite64(core int, paddr uint32, v uint64) {
+	ch.syncCharge(core, ch.uncachedLatency(core, paddr))
+	ch.mem.Write64(paddr, v)
+}
+
+// PhysRead32 synchronously reads an uncached 32-bit word.
+func (ch *Chip) PhysRead32(core int, paddr uint32) uint32 {
+	ch.syncCharge(core, ch.uncachedLatency(core, paddr))
+	return ch.mem.Read32(paddr)
+}
+
+// PhysWrite32 synchronously writes an uncached 32-bit word.
+func (ch *Chip) PhysWrite32(core int, paddr uint32, v uint32) {
+	ch.syncCharge(core, ch.uncachedLatency(core, paddr))
+	ch.mem.Write32(paddr, v)
+}
+
+// ZeroSharedFrame zeroes one shared frame through core's write path with
+// the write-combine buffer: the cost of 4 KiB of combined line writes. Used
+// by first-touch allocation.
+func (ch *Chip) ZeroSharedFrame(core int, paddr uint32) {
+	c := ch.cores[core]
+	frame := ch.layout.FrameSize()
+	lines := frame / 32
+	var total sim.Duration
+	for i := uint32(0); i < lines; i++ {
+		total += ch.ddrLineWriteLatency(core, paddr+i*32)
+	}
+	c.Proc().Advance(total)
+	ch.mem.ZeroFrame(paddr / frame)
+}
+
+// FrameCopyLatency returns the cost of copying one frame between two
+// physical locations through a core's uncached path: a line read plus a
+// posted line write per cache line (used by next-touch page migration).
+func (ch *Chip) FrameCopyLatency(core int, src, dst uint32) sim.Duration {
+	lines := ch.layout.FrameSize() / 32
+	var total sim.Duration
+	for i := uint32(0); i < lines; i++ {
+		total += ch.ddrReadLatency(core, src+i*32) + ch.ddrLineWriteLatency(core, dst+i*32)
+	}
+	return total
+}
+
+// CheckMailCost charges the fixed cost of inspecting one mailbox slot
+// (about 100 core cycles on the SCC, per the paper).
+func (ch *Chip) CheckMailCost(core int) {
+	ch.cores[core].Cycles(ch.cfg.Lat.MailCheckCycles)
+}
+
+// RaiseIPI sends an inter-processor interrupt from core to core through
+// the GIC: the sender pays the register write to the system interface; the
+// interrupt is delivered to the target after FPGA processing and mesh
+// traversal, asynchronously.
+func (ch *Chip) RaiseIPI(from, to int) {
+	c := ch.cores[from]
+	ch.tracer.Emit(c.Now(), from, trace.KindIPI, uint64(to), 0)
+	c.Sync()
+	raise := ch.coreClock().Cycles(ch.cfg.Lat.IPIRaiseCoreCycles) +
+		ch.mesh.OneWay(ch.gicHops(from))
+	c.Proc().Advance(raise)
+	c.Sync()
+	deliver := ch.cfg.Mesh.Clock.Cycles(ch.cfg.Lat.GICCycles) +
+		ch.mesh.OneWay(ch.gicHops(to))
+	target := ch.cores[to]
+	ch.eng.After(deliver, func() {
+		ch.gic.Raise(from, to)
+		target.PostInterrupt(cpu.IRQIPI)
+	})
+}
+
+// gicHops is the mesh distance between a core's tile and the system
+// interface port the GIC sits behind.
+func (ch *Chip) gicHops(core int) int {
+	pos := ch.mesh.CoordOfCore(core)
+	p := ch.cfg.GICPort
+	dx := pos.X - p.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := pos.Y - p.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}

@@ -1,0 +1,111 @@
+package sim
+
+// Signal wakes processes that are waiting for a condition to change.
+//
+// Users must follow the check-then-wait discipline:
+//
+//	for !condition() {
+//	    sig.Wait(p)
+//	}
+//
+// together with the rule that whoever makes the condition true does so at a
+// globally ordered time (after Sync) and then Fires the signal at the time
+// the change becomes visible. Under that discipline wakeups cannot be lost:
+// either the change is applied before the waiter's check (the check sees
+// it), or the waiter is already registered when the Fire event runs.
+//
+// Wait can return spuriously (for example when the waiting process receives
+// an interrupt); the check loop absorbs that.
+type Signal struct {
+	eng     *Engine
+	waiters []*Proc
+	// seq is an eventcount: it increments every time a Fire event executes.
+	// Waiters that may perform multiple parking operations between checking
+	// their condition and finally waiting (e.g. a mailbox scan, where every
+	// slot probe syncs) capture Seq first and use WaitSeq, which refuses to
+	// park if a Fire slipped into that window.
+	seq uint64
+}
+
+// NewSignal returns a signal bound to the engine.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Wait registers p as a waiter and parks it until a Fire (or any other Wake)
+// resumes it. Callers must re-check their condition afterwards.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.Wait()
+	for i, w := range s.waiters {
+		if w == p {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			break
+		}
+	}
+}
+
+// Fire schedules a wake of every currently registered waiter at time at
+// (clamped to the present). Waiter order is registration order, keeping the
+// engine deterministic.
+func (s *Signal) Fire(at Time) {
+	if at < s.eng.now {
+		at = s.eng.now
+	}
+	s.eng.At(at, func() {
+		s.seq++
+		// Snapshot: waiters registered after this event runs wait for the
+		// next Fire, which is correct under check-then-wait.
+		ws := make([]*Proc, len(s.waiters))
+		copy(ws, s.waiters)
+		for _, p := range ws {
+			p.Wake(s.eng.now)
+		}
+	})
+}
+
+// Seq returns the eventcount value; see WaitSeq.
+func (s *Signal) Seq() uint64 { return s.seq }
+
+// WaitSeq parks p unless the signal fired since seq was captured (in which
+// case it returns immediately, as a spurious wakeup, so the caller
+// re-checks its condition).
+func (s *Signal) WaitSeq(p *Proc, seq uint64) {
+	if s.seq != seq {
+		return
+	}
+	s.Wait(p)
+}
+
+// Waiters reports how many processes are currently registered.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// WaitAny parks p until any of the given signals fires (or any other Wake
+// reaches the process). Like Wait it may return spuriously; callers loop.
+func WaitAny(p *Proc, sigs ...*Signal) {
+	WaitAnySeq(p, sigs, nil)
+}
+
+// WaitAnySeq is WaitAny with eventcounts: if seqs is non-nil (parallel to
+// sigs) and any signal fired since its seq was captured, the call returns
+// immediately instead of parking. Use it when the caller performs parking
+// operations between its condition checks and this wait.
+func WaitAnySeq(p *Proc, sigs []*Signal, seqs []uint64) {
+	if seqs != nil {
+		for i, s := range sigs {
+			if s.seq != seqs[i] {
+				return
+			}
+		}
+	}
+	for _, s := range sigs {
+		s.waiters = append(s.waiters, p)
+	}
+	p.Wait()
+	for _, s := range sigs {
+		for i, w := range s.waiters {
+			if w == p {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import "testing"
+
+// These tests cover the eventcount extension (Seq/WaitSeq/WaitAnySeq) that
+// closes the lost-wakeup window for waiters whose condition checks
+// themselves park (mailbox scans, iRCCE progress passes).
+
+func TestWaitSeqSkipsParkAfterFire(t *testing.T) {
+	e := NewEngine()
+	sig := NewSignal(e)
+	resumed := false
+	e.NewProc("waiter", 0, func(p *Proc) {
+		seq := sig.Seq()
+		// Simulate a scan that parks while the producer fires.
+		p.Advance(1000)
+		p.Sync()
+		// By now the fire event (at t=500) has executed: WaitSeq must not
+		// park, or we would sleep forever (nobody fires again).
+		sig.WaitSeq(p, seq)
+		resumed = true
+	})
+	e.At(500, func() { sig.Fire(500) })
+	e.Run()
+	e.Shutdown()
+	if !resumed {
+		t.Fatal("WaitSeq parked through a fire that happened mid-scan")
+	}
+}
+
+func TestWaitSeqParksWhenNoFire(t *testing.T) {
+	e := NewEngine()
+	sig := NewSignal(e)
+	stage := 0
+	e.NewProc("waiter", 0, func(p *Proc) {
+		seq := sig.Seq()
+		stage = 1
+		sig.WaitSeq(p, seq) // nothing fired: must park until the producer
+		stage = 2
+	})
+	e.NewProc("producer", 0, func(p *Proc) {
+		p.Advance(10_000)
+		p.Sync()
+		if stage != 1 {
+			t.Errorf("waiter at stage %d before fire, want 1 (parked)", stage)
+		}
+		sig.Fire(p.LocalTime())
+	})
+	e.Run()
+	e.Shutdown()
+	if stage != 2 {
+		t.Fatalf("waiter never resumed (stage %d)", stage)
+	}
+}
+
+func TestWaitAnySeqAnySignalWakes(t *testing.T) {
+	e := NewEngine()
+	a, b := NewSignal(e), NewSignal(e)
+	woke := false
+	e.NewProc("waiter", 0, func(p *Proc) {
+		seqs := []uint64{a.Seq(), b.Seq()}
+		WaitAnySeq(p, []*Signal{a, b}, seqs)
+		woke = true
+	})
+	e.At(300, func() { b.Fire(300) }) // only the second signal fires
+	e.Run()
+	e.Shutdown()
+	if !woke {
+		t.Fatal("WaitAnySeq missed a fire on the second signal")
+	}
+}
+
+func TestWaitAnySeqStaleSeqReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	a := NewSignal(e)
+	order := []string{}
+	e.NewProc("waiter", 0, func(p *Proc) {
+		seqs := []uint64{a.Seq()}
+		p.Advance(1000)
+		p.Sync() // the fire at t=100 executes during this park
+		order = append(order, "pre-wait")
+		WaitAnySeq(p, []*Signal{a}, seqs)
+		order = append(order, "post-wait")
+	})
+	e.At(100, func() { a.Fire(100) })
+	e.Run()
+	e.Shutdown()
+	if len(order) != 2 || order[1] != "post-wait" {
+		t.Fatalf("order = %v", order)
+	}
+	// And it must not have taken a wake from anyone: engine time is the
+	// waiter's own 1000.
+	if e.Now() != 1000 {
+		t.Fatalf("engine at %d, want 1000", e.Now())
+	}
+}
+
+func TestSeqCountsFires(t *testing.T) {
+	e := NewEngine()
+	sig := NewSignal(e)
+	sig.Fire(10)
+	sig.Fire(20)
+	e.Run()
+	if sig.Seq() != 2 {
+		t.Fatalf("seq = %d, want 2", sig.Seq())
+	}
+}

@@ -1,0 +1,108 @@
+// Package stats provides the small numeric helpers the benchmark harness
+// uses to summarize latency samples and format result tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample set.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	Stddev         float64
+	P50            float64
+}
+
+// Summarize computes the summary of xs (empty input yields zeros).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = sorted[len(sorted)/2]
+	return s
+}
+
+// Table renders rows as an aligned text table with the given header.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with column names.
+func NewTable(cols ...string) *Table { return &Table{header: cols} }
+
+// AddRow appends a row; cells beyond the header width panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.header) {
+		panic(fmt.Sprintf("stats: row has %d cells, table has %d columns", len(cells), len(t.header)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// US formats a microsecond value.
+func US(us float64) string { return fmt.Sprintf("%.3f", us) }
+
+// MS formats a microsecond value as milliseconds.
+func MS(us float64) string { return fmt.Sprintf("%.2f", us/1000) }

@@ -1,0 +1,63 @@
+package svm
+
+import (
+	"testing"
+
+	"metalsvm/internal/pgtable"
+	"metalsvm/internal/sim"
+)
+
+// TestOwnershipRequestForwarding stages the strong model's stale-owner
+// race deterministically: core A first-touches a page; cores B and C fault
+// on it almost simultaneously. C reads the owner vector while A still owns
+// the page, but its request reaches A only after A has served B — so A
+// must forward C's request to B. The simulator is deterministic, so once
+// the stagger provokes a forward it always does.
+func TestOwnershipRequestForwarding(t *testing.T) {
+	staggersUS := []float64{1, 2, 3, 4, 5, 7, 9}
+	for _, d := range staggersUS {
+		if runForwardScenario(t, d) {
+			return // forwarding path exercised and verified
+		}
+	}
+	t.Fatalf("no stagger in %v us provoked a forward — protocol path untested", staggersUS)
+}
+
+func runForwardScenario(t *testing.T, staggerUS float64) bool {
+	t.Helper()
+	members := []int{0, 20, 40}
+	r := newRig(t, DefaultConfig(Strong), members)
+	vals := map[int]uint64{}
+	mains := map[int]func(*Handle){
+		0: func(h *Handle) { // A: first-touch owner
+			base := h.Alloc(pgtable.PageSize)
+			h.Kernel().Core().Store64(base, 777)
+			h.Kernel().Barrier()
+			h.Kernel().Barrier()
+		},
+		20: func(h *Handle) { // B: first contender
+			base := h.Alloc(pgtable.PageSize)
+			h.Kernel().Barrier()
+			h.Kernel().Core().Proc().Advance(sim.Microseconds(100))
+			vals[20] = h.Kernel().Core().Load64(base)
+			h.Kernel().Barrier()
+		},
+		40: func(h *Handle) { // C: staggered second contender
+			base := h.Alloc(pgtable.PageSize)
+			h.Kernel().Barrier()
+			h.Kernel().Core().Proc().Advance(sim.Microseconds(100 + staggerUS))
+			vals[40] = h.Kernel().Core().Load64(base)
+			h.Kernel().Barrier()
+		},
+	}
+	r.run(t, mains)
+	// Correctness holds regardless of which path the race took.
+	if vals[20] != 777 || vals[40] != 777 {
+		t.Fatalf("stagger %vus: stale reads %v", staggerUS, vals)
+	}
+	forwards := uint64(0)
+	for _, id := range members {
+		forwards += r.sys.handles[id].Stats().Forwards
+	}
+	return forwards > 0
+}

@@ -1,0 +1,79 @@
+package svm
+
+import "fmt"
+
+// Free is the collective release of a region previously returned by Alloc
+// (every member must call it with the region's base, like the other
+// collective operations). Physical frames return to the allocator with
+// their controller affinity; virtual address space is not recycled — the
+// cursor is monotonic, which keeps collective allocation matching trivial
+// and mirrors how short-lived bare-metal workloads actually behave.
+//
+// After the call, any access to the region faults as "unallocated" — a
+// use-after-free is caught at its first touch rather than corrupting a
+// recycled frame.
+func (h *Handle) Free(base uint32) {
+	s := h.sys
+	r := s.findRegion(base)
+	if r == nil {
+		panic(fmt.Sprintf("svm: Free of %#x, which is not a live allocation base", base))
+	}
+	first := s.pageIndex(base)
+	if s.inReadonly(first) {
+		panic(fmt.Sprintf("svm: Free of read-only region %#x", base))
+	}
+
+	// Drop the local view: pending writes are discarded by definition of
+	// freeing, but the WCB may also hold bytes of *other* regions, so
+	// publish it rather than dropping it.
+	h.k.Core().FlushWCB()
+	dropped := false
+	for i := uint32(0); i < r.pages; i++ {
+		page := pageVaddr(first + i)
+		if _, ok := h.k.Core().Table.Lookup(page); ok {
+			h.k.Core().Cycles(s.cfg.MapCycles / 4)
+			h.k.Core().Table.Unmap(page)
+			dropped = true
+		}
+	}
+	if dropped {
+		h.k.Core().CL1INVMB()
+	}
+	// Everyone must have unmapped before the frames are recycled, or a
+	// straggler could still read a frame that a new allocation reuses.
+	h.k.Barrier()
+
+	// One member returns the frames and scrubs the metadata.
+	if h.k.Index() == 0 {
+		for i := uint32(0); i < r.pages; i++ {
+			idx := first + i
+			frame := s.scratchReadQuiet(idx)
+			if frame == 0 {
+				continue // never materialized
+			}
+			s.scratchWrite(h.k.ID(), idx, 0)
+			if s.cfg.Model == Strong {
+				s.chip.PhysWrite32(h.k.ID(), s.ownerAddr(idx), 0)
+			}
+			if s.nextTouch.armed > 0 && s.chip.PhysRead32(h.k.ID(), s.migrateAddr(idx)) != 0 {
+				s.chip.PhysWrite32(h.k.ID(), s.migrateAddr(idx), 0)
+				s.nextTouch.armed--
+			}
+			s.alloc.Free(frame)
+		}
+		r.freed = true
+	}
+	h.k.Barrier()
+}
+
+// LiveRegions reports the number of live (not freed) collective
+// allocations (diagnostics).
+func (s *System) LiveRegions() int {
+	n := 0
+	for _, r := range s.allocs {
+		if !r.freed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,390 @@
+package svm
+
+import (
+	"fmt"
+
+	"metalsvm/internal/cpu"
+	"metalsvm/internal/kernel"
+	"metalsvm/internal/mailbox"
+	"metalsvm/internal/pgtable"
+	"metalsvm/internal/trace"
+)
+
+// Stats counts per-kernel SVM events.
+type Stats struct {
+	Faults        uint64 // page faults taken
+	FirstTouches  uint64 // frames this core allocated
+	MapExisting   uint64 // pages mapped that another core had allocated
+	OwnerRequests uint64 // ownership requests sent
+	OwnerServed   uint64 // ownership requests served (as owner)
+	Forwards      uint64 // requests forwarded to the current owner
+	Retries       uint64 // requests answered with retry (page in fault here)
+}
+
+// Handle is one kernel's view of the SVM system. All methods run on the
+// kernel's goroutine.
+type Handle struct {
+	sys *System
+	k   *kernel.Kernel
+
+	allocSeq int // how many collective allocations this kernel has seen
+
+	// Fault-protocol state, mutated by mail handlers.
+	acks    map[uint32]int  // ownership acks received per page
+	retries map[uint32]int  // retry notices received per page
+	inFault map[uint32]bool // pages this kernel is currently acquiring
+
+	stats          Stats
+	nextTouchStats NextTouchStats
+}
+
+// Attach registers kernel k with the SVM system: mail handlers for the
+// ownership protocol and the page-fault handler. Every cluster member must
+// attach before using SVM operations.
+func (s *System) Attach(k *kernel.Kernel) *Handle {
+	if h, ok := s.handles[k.ID()]; ok {
+		return h
+	}
+	h := &Handle{
+		sys:     s,
+		k:       k,
+		acks:    make(map[uint32]int),
+		retries: make(map[uint32]int),
+		inFault: make(map[uint32]bool),
+	}
+	s.handles[k.ID()] = h
+	k.RegisterHandler(msgOwnerReq, h.handleOwnerReq)
+	k.RegisterHandler(msgOwnerAck, func(_ *kernel.Kernel, m mailbox.Msg) {
+		h.acks[m.U32(0)]++
+	})
+	k.RegisterHandler(msgOwnerRetry, func(_ *kernel.Kernel, m mailbox.Msg) {
+		h.retries[m.U32(0)]++
+	})
+	k.Core().SetFaultHandler(func(c *cpu.Core, vaddr uint32, write bool, e pgtable.Entry) {
+		h.handleFault(vaddr, write, e)
+	})
+	return h
+}
+
+// Kernel returns the owning kernel.
+func (h *Handle) Kernel() *kernel.Kernel { return h.k }
+
+// Stats returns a snapshot of the handle's counters.
+func (h *Handle) Stats() Stats { return h.stats }
+
+// System returns the cluster-wide SVM system.
+func (h *Handle) System() *System { return h.sys }
+
+// DebugString summarizes protocol wait state for diagnostics.
+func (h *Handle) DebugString() string {
+	return fmt.Sprintf("svm %d: inFault=%v acks=%v retries=%v", h.k.ID(), h.inFault, h.acks, h.retries)
+}
+
+// Alloc is the collective allocation call (svm_alloc in the paper): every
+// member must call it in the same order with the same size; all receive the
+// same virtual base address. Only virtual address space is reserved —
+// physical frames appear on first touch.
+func (h *Handle) Alloc(bytes uint32) uint32 {
+	if bytes == 0 {
+		panic("svm: zero-byte allocation")
+	}
+	pages := (bytes + pgtable.PageSize - 1) / pgtable.PageSize
+	s := h.sys
+	if h.allocSeq == len(s.allocs) {
+		// First member to arrive performs the reservation.
+		if s.nextPage+pages > s.cfg.PageHi {
+			panic(fmt.Sprintf("svm: out of shared address space (%d pages requested)", pages))
+		}
+		s.allocs = append(s.allocs, region{base: pageVaddr(s.nextPage), pages: pages})
+		s.nextPage += pages
+	}
+	r := s.allocs[h.allocSeq]
+	if r.pages != pages {
+		panic(fmt.Sprintf("svm: collective allocation mismatch: core %d asked %d pages, first caller asked %d",
+			h.k.ID(), pages, r.pages))
+	}
+	h.allocSeq++
+	// Per-page bookkeeping cost, then the collective barrier.
+	h.k.Core().Cycles(h.sys.cfg.AllocPageCycles * uint64(pages))
+	h.k.Barrier()
+	return r.base
+}
+
+// --- Page fault path ------------------------------------------------------
+
+func (h *Handle) handleFault(vaddr uint32, write bool, e pgtable.Entry) {
+	s := h.sys
+	idx := s.pageIndex(vaddr)
+	if !s.inAllocated(idx) {
+		panic(fmt.Sprintf("svm: core %d touched unallocated shared address %#x", h.k.ID(), vaddr))
+	}
+	if write && s.inReadonly(idx) {
+		panic(fmt.Sprintf("svm: core %d wrote read-only region at %#x", h.k.ID(), vaddr))
+	}
+	h.stats.Faults++
+	s.chip.Tracer().Emit(h.k.Core().Now(), h.k.ID(), trace.KindFault, uint64(vaddr), 0)
+	page := pgtable.PageBase(vaddr)
+
+	if e == (pgtable.Entry{}) {
+		// Never mapped here: first-touch path through the scratchpad.
+		mine := h.firstTouch(idx, page)
+		if s.cfg.Model == LazyRelease || s.inReadonly(idx) || mine {
+			return
+		}
+		// Strong model: being mapped is not enough, we must own the page.
+		h.acquireOwnership(idx, page)
+		return
+	}
+	// Mapped but not accessible: only the strong model revokes mappings.
+	if s.cfg.Model != Strong {
+		panic(fmt.Sprintf("svm: unexpected fault on mapped page %#x (model %v, write=%v, flags=%v)",
+			vaddr, s.cfg.Model, write, e.Flags))
+	}
+	h.acquireOwnership(idx, page)
+}
+
+// firstTouch resolves the page's frame through the scratchpad directory,
+// allocating (and zeroing) a frame near this core if nobody has yet, and
+// maps the page. It reports whether this core performed the allocation
+// (and, in the strong model, therefore owns the page).
+func (h *Handle) firstTouch(idx, page uint32) (allocated bool) {
+	s := h.sys
+	me := h.k.ID()
+	layout := s.chip.Layout()
+
+	s.scratchLock(h, idx)
+	frame := s.scratchRead(me, idx)
+	if frame == 0 {
+		mc := layout.ControllerOfCore(me)
+		sf, ok := s.alloc.Alloc(mc)
+		if !ok {
+			s.scratchUnlock(h, idx)
+			panic("svm: shared memory exhausted")
+		}
+		h.k.Core().Cycles(s.cfg.FrameAllocCycles)
+		s.chip.ZeroSharedFrame(me, layout.SharedFrameAddr(sf))
+		s.scratchWrite(me, idx, sf)
+		if s.cfg.Model == Strong {
+			s.writeOwner(me, idx, me)
+		}
+		frame = sf
+		allocated = true
+		h.stats.FirstTouches++
+		s.chip.Tracer().Emit(h.k.Core().Now(), me, trace.KindFirstTouch, uint64(idx), uint64(sf))
+	} else {
+		h.stats.MapExisting++
+		// Affinity-on-next-touch: if the page is armed for migration, this
+		// touch moves its frame near us (still under the scratchpad lock).
+		frame = h.maybeMigrate(idx, frame)
+	}
+	s.scratchUnlock(h, idx)
+
+	paddr := layout.SharedFrameAddr(frame)
+	var flags pgtable.Flags
+	switch {
+	case s.inReadonly(idx):
+		// Read-only regions re-enable the L2 by dropping MPBT.
+		flags = pgtable.Present | pgtable.WriteThrough
+	case s.cfg.Model == Strong && !allocated:
+		// Another core owns the page: record the frame but leave the page
+		// inaccessible until ownership arrives.
+		flags = pgtable.WriteThrough | pgtable.MPBT
+	default:
+		flags = pgtable.Present | pgtable.Writable | pgtable.WriteThrough | pgtable.MPBT
+	}
+	h.k.Core().Cycles(s.cfg.MapCycles)
+	h.k.Core().Table.Map(page, paddr>>pgtable.PageShift, flags)
+	return allocated
+}
+
+// acquireOwnership runs the requester side of the strong model's transfer.
+func (h *Handle) acquireOwnership(idx, page uint32) {
+	s := h.sys
+	me := h.k.ID()
+	h.inFault[idx] = true
+	defer delete(h.inFault, idx)
+	for {
+		owner := s.readOwner(me, idx)
+		switch owner {
+		case me:
+			// Transfer completed (ack handler may even have raced ahead).
+			h.k.Core().Cycles(s.cfg.MapCycles)
+			h.k.Core().Table.Update(page, func(e *pgtable.Entry) {
+				e.Flags |= pgtable.Present | pgtable.Writable
+			})
+			// Consume a pending ack if one is queued for this page.
+			if h.acks[idx] > 0 {
+				h.acks[idx]--
+			}
+			return
+		case -1:
+			panic(fmt.Sprintf("svm: page %d mapped but unowned in strong model", idx))
+		}
+		h.stats.OwnerRequests++
+		s.chip.Tracer().Emit(h.k.Core().Now(), me, trace.KindOwnerRequest, uint64(idx), uint64(owner))
+		acks, retries := h.acks[idx], h.retries[idx]
+		var p [8]byte
+		mailbox.PutU32(p[:], 0, idx)
+		mailbox.PutU32(p[:], 1, uint32(me))
+		h.k.Send(owner, msgOwnerReq, p[:])
+		h.k.WaitFor(func() bool {
+			return h.acks[idx] > acks || h.retries[idx] > retries
+		})
+		if h.acks[idx] > acks {
+			h.acks[idx]--
+			h.k.Core().Cycles(s.cfg.MapCycles)
+			h.k.Core().Table.Update(page, func(e *pgtable.Entry) {
+				e.Flags |= pgtable.Present | pgtable.Writable
+			})
+			return
+		}
+		// Retry: the peer was mid-fault on the same page. Back off and
+		// re-read the owner vector.
+		h.retries[idx]--
+		h.k.Core().Cycles(500)
+	}
+}
+
+// handleOwnerReq runs on the owner side: revoke, flush, hand over, ack.
+func (h *Handle) handleOwnerReq(_ *kernel.Kernel, m mailbox.Msg) {
+	s := h.sys
+	me := h.k.ID()
+	idx := m.U32(0)
+	requester := int(m.U32(1))
+	page := pageVaddr(idx)
+
+	if h.inFault[idx] {
+		// We are acquiring this page ourselves; tell the requester to back
+		// off rather than handing away a page mid-access.
+		h.stats.Retries++
+		var p [4]byte
+		mailbox.PutU32(p[:], 0, idx)
+		h.k.Send(requester, msgOwnerRetry, p[:])
+		return
+	}
+	owner := s.readOwner(me, idx)
+	if owner != me {
+		// Stale request: forward to the current owner (or ack directly if
+		// the requester has become the owner meanwhile).
+		h.stats.Forwards++
+		var p [8]byte
+		mailbox.PutU32(p[:], 0, idx)
+		mailbox.PutU32(p[:], 1, uint32(requester))
+		if owner == requester {
+			var q [4]byte
+			mailbox.PutU32(q[:], 0, idx)
+			h.k.Send(requester, msgOwnerAck, q[:])
+		} else {
+			h.k.Send(owner, msgOwnerReq, p[:])
+		}
+		return
+	}
+	h.stats.OwnerServed++
+	s.chip.Tracer().Emit(h.k.Core().Now(), me, trace.KindOwnerTransfer, uint64(idx), uint64(requester))
+	h.k.Core().Cycles(s.cfg.OwnershipServeCycles)
+	// Revoke our access, publish our writes, drop our cached lines.
+	if _, ok := h.k.Core().Table.Lookup(page); ok {
+		h.k.Core().Table.Update(page, func(e *pgtable.Entry) {
+			e.Flags &^= pgtable.Present | pgtable.Writable
+		})
+	}
+	h.k.Core().FlushWCB()
+	h.k.Core().CL1INVMB()
+	s.writeOwner(me, idx, requester)
+	var p [4]byte
+	mailbox.PutU32(p[:], 0, idx)
+	h.k.Send(requester, msgOwnerAck, p[:])
+}
+
+// --- Synchronization ------------------------------------------------------
+
+// Barrier synchronizes all members with the consistency actions the model
+// requires: release (flush) before the rendezvous, acquire (invalidate)
+// after it.
+func (h *Handle) Barrier() {
+	h.k.Core().FlushWCB()
+	h.k.Barrier()
+	h.k.Core().CL1INVMB()
+}
+
+// Lock enters a critical section under lazy release consistency: acquire
+// the SVM lock, then invalidate SVM-cached lines so the section reads
+// fresh data. (Usable under the strong model too, where it is only a lock.)
+//
+// SVM locks are off-die lock words, NOT raw test-and-set registers: the
+// scarce registers double as the scratchpad directory's guards, and a page
+// fault inside a critical section would self-deadlock spinning on a
+// register its own core already holds. Instead, the register for the lock
+// id is held only for the instant it takes to inspect and flip the word —
+// a fault arriving in between always finds it released.
+func (h *Handle) Lock(id int) {
+	s := h.sys
+	me := h.k.ID()
+	reg := id % s.chip.Cores()
+	addr := s.lockAddr(id)
+	for {
+		for !s.chip.TASLock(me, reg) {
+			h.k.Core().Cycles(100)
+		}
+		free := s.chip.PhysRead32(me, addr) == 0
+		if free {
+			s.chip.PhysWrite32(me, addr, uint32(me)+1)
+		}
+		s.chip.TASUnlock(me, reg)
+		if free {
+			break
+		}
+		// Taken: park until some Unlock fires this lock's signal, then
+		// compete again.
+		s.lockSig(id).Wait(h.k.Core().Proc())
+	}
+	h.k.Core().CL1INVMB()
+}
+
+// Unlock leaves the critical section: publish the write-combine buffer,
+// then release the lock word and wake the next contender.
+func (h *Handle) Unlock(id int) {
+	s := h.sys
+	me := h.k.ID()
+	h.k.Core().FlushWCB()
+	addr := s.lockAddr(id)
+	if holder := s.chip.PhysRead32(me, addr); holder != uint32(me)+1 {
+		panic(fmt.Sprintf("svm: core %d unlocks lock %d held by %d", me, id, int(holder)-1))
+	}
+	s.chip.PhysWrite32(me, addr, 0)
+	s.lockSig(id).Fire(h.k.Core().Proc().LocalTime())
+}
+
+// ProtectReadOnly is the collective mprotect of Section 6.4: after it, the
+// region rejects writes and — because the MPBT bit is cleared — is cached
+// in the L2 again. Every member must call it; pages the member has not
+// touched are mapped read-only on the spot.
+func (h *Handle) ProtectReadOnly(base, bytes uint32) {
+	s := h.sys
+	pages := (bytes + pgtable.PageSize - 1) / pgtable.PageSize
+	first := s.pageIndex(base)
+	// One member records the region; everyone waits, then remaps.
+	if !s.inReadonly(first) {
+		s.readonly = append(s.readonly, region{base: pgtable.PageBase(base), pages: pages})
+	}
+	h.k.Barrier()
+	h.k.Core().FlushWCB()
+	for i := uint32(0); i < pages; i++ {
+		idx := first + i
+		page := pageVaddr(idx)
+		if e, ok := h.k.Core().Table.Lookup(page); ok && e.Flags.Has(pgtable.Present) {
+			h.k.Core().Cycles(s.cfg.MapCycles / 4)
+			h.k.Core().Table.Update(page, func(e *pgtable.Entry) {
+				e.Flags &^= pgtable.Writable | pgtable.MPBT
+			})
+		} else {
+			// Map it read-only now (frame must exist or appears by first
+			// touch of a zero page).
+			h.firstTouch(idx, page)
+		}
+	}
+	// Lines cached under the MPBT type must go: their tag no longer
+	// matches the page type, and the L2 path will refill them.
+	h.k.Core().CL1INVMB()
+	h.k.Barrier()
+}

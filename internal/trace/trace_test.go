@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"metalsvm/internal/sim"
+)
+
+func TestEmitAndOrder(t *testing.T) {
+	b := NewBuffer(8)
+	b.Emit(100, 0, KindFault, 1, 0)
+	b.Emit(200, 1, KindMailSend, 2, 3)
+	ev := b.Events()
+	if len(ev) != 2 || ev[0].At != 100 || ev[1].Core != 1 {
+		t.Fatalf("events = %v", ev)
+	}
+	if b.Dropped() != 0 {
+		t.Fatalf("dropped = %d", b.Dropped())
+	}
+}
+
+func TestNilBufferSafe(t *testing.T) {
+	var b *Buffer
+	b.Emit(1, 0, KindFault, 0, 0) // must not panic
+	if b.Events() != nil || b.Len() != 0 || b.Dropped() != 0 {
+		t.Fatal("nil buffer misbehaves")
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Emit(simTime(i), 0, KindFault, uint64(i), 0)
+	}
+	ev := b.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d", len(ev))
+	}
+	// Chronological and the newest four.
+	for i, e := range ev {
+		if e.Arg1 != uint64(6+i) {
+			t.Fatalf("event %d arg %d, want %d", i, e.Arg1, 6+i)
+		}
+	}
+	if b.Dropped() != 6 {
+		t.Fatalf("dropped = %d", b.Dropped())
+	}
+}
+
+func simTime(i int) sim.Time { return sim.Time(i) * 10 }
+
+func TestSummarize(t *testing.T) {
+	b := NewBuffer(16)
+	b.Emit(10, 0, KindFault, 0, 0)
+	b.Emit(20, 0, KindFault, 0, 0)
+	b.Emit(30, 1, KindBarrier, 0, 0)
+	s := Summarize(b.Events())
+	if s.Total != 3 || s.ByKind[KindFault] != 2 || s.ByCore[1] != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.First != 10 || s.Last != 30 {
+		t.Fatalf("range [%d,%d]", s.First, s.Last)
+	}
+	var sb strings.Builder
+	WriteSummary(&sb, s)
+	out := sb.String()
+	if !strings.Contains(out, "fault") || !strings.Contains(out, "barrier") {
+		t.Fatalf("summary output:\n%s", out)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	b := NewBuffer(16)
+	b.Emit(10, 0, KindFault, 0, 0)
+	b.Emit(20, 1, KindFault, 0, 0)
+	b.Emit(30, 1, KindMailSend, 0, 0)
+	got := Filter(b.Events(), OnCore(1), OfKind(KindFault))
+	if len(got) != 1 || got[0].At != 20 {
+		t.Fatalf("filtered = %v", got)
+	}
+	got = Filter(b.Events(), Between(15, 35))
+	if len(got) != 2 {
+		t.Fatalf("time filter = %v", got)
+	}
+}
+
+func TestTimelineFormat(t *testing.T) {
+	b := NewBuffer(4)
+	b.Emit(1_500_000, 3, KindOwnerTransfer, 7, 9)
+	var sb strings.Builder
+	WriteTimeline(&sb, b.Events())
+	if !strings.Contains(sb.String(), "owner-transfer") || !strings.Contains(sb.String(), "core3") {
+		t.Fatalf("timeline: %q", sb.String())
+	}
+}
+
+// Property: the ring never loses more than capacity of the most recent
+// events, and Events() is always chronological for monotone input.
+func TestRingProperty(t *testing.T) {
+	f := func(n uint8, capSel uint8) bool {
+		capacity := 1 + int(capSel)%16
+		b := NewBuffer(capacity)
+		total := int(n)
+		for i := 0; i < total; i++ {
+			b.Emit(simTime(i), 0, KindFault, uint64(i), 0)
+		}
+		ev := b.Events()
+		want := total
+		if want > capacity {
+			want = capacity
+		}
+		if len(ev) != want {
+			return false
+		}
+		for i := 1; i < len(ev); i++ {
+			if ev[i].At < ev[i-1].At {
+				return false
+			}
+		}
+		// The newest event is always retained.
+		return total == 0 || ev[len(ev)-1].Arg1 == uint64(total-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+// Package metalsvm is a Go reproduction of "Revisiting Shared Virtual
+// Memory Systems for Non-Coherent Memory-Coupled Cores" (Lankes, Reble,
+// Sinnen, Clauss — PMAM 2012): the MetalSVM shared-virtual-memory system
+// for the Intel Single-chip Cloud Computer, running on a deterministic
+// functional and timing simulator of the SCC platform built into this
+// module.
+//
+// The package re-exports the facade from internal/core so external users
+// have a stable entry point:
+//
+//	m, _ := metalsvm.NewMachine(metalsvm.Options{Members: metalsvm.FirstN(8)})
+//	m.RunAll(func(env *metalsvm.Env) {
+//	    base := env.SVM.Alloc(1 << 20)
+//	    env.Core().Store64(base, 42)
+//	    env.SVM.Barrier()
+//	})
+//
+// See README.md for the architecture overview, DESIGN.md for the full
+// system inventory, and EXPERIMENTS.md for the paper-versus-measured
+// record of every table and figure.
+package metalsvm
+
+import (
+	"metalsvm/internal/core"
+	"metalsvm/internal/svm"
+)
+
+// Machine is a booted MetalSVM system: the simulated SCC, one kernel per
+// member core, and the shared virtual memory system.
+type Machine = core.Machine
+
+// Options configures a machine; zero values select the paper's platform.
+type Options = core.Options
+
+// Env is what a workload function receives on each simulated core.
+type Env = core.Env
+
+// Baseline is the comparison system: bare cores with the RCCE/iRCCE
+// message-passing library and full private-memory caching ("SCC Linux").
+type Baseline = core.Baseline
+
+// Model selects the SVM consistency model.
+type Model = svm.Model
+
+// The two consistency models of the paper's Section 6.
+const (
+	Strong      = svm.Strong
+	LazyRelease = svm.LazyRelease
+)
+
+// NewMachine builds the platform, boots nothing yet; call Run or RunAll.
+func NewMachine(opts Options) (*Machine, error) { return core.NewMachine(opts) }
+
+// NewBaseline builds the message-passing comparison system.
+func NewBaseline(cores []int) (*Baseline, error) { return core.NewBaseline(nil, cores) }
+
+// FirstN returns the member list {0, ..., n-1}.
+func FirstN(n int) []int { return core.FirstN(n) }
+
+// SVMConfig returns the calibrated SVM configuration for a model, ready to
+// be customized and passed through Options.SVM.
+func SVMConfig(m Model) svm.Config { return svm.DefaultConfig(m) }
