@@ -29,11 +29,19 @@ func main() {
 	rounds := flag.Int("rounds", 200, "ping-pong rounds per mailbox measurement")
 	iters := flag.Int("iters", 50, "Laplace iterations (paper: 5000; per-iteration cost is constant, so crossovers are preserved)")
 	fullLaplace := flag.Bool("full", false, "run the Laplace benchmark with the paper's full 5000 iterations (slow)")
+	check := flag.Bool("check", false, "run the happens-before race checker over every workload and exit non-zero on races")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sccbench [flags] fig6|fig7|table1|fig9|ablation|all\n")
+		fmt.Fprintf(os.Stderr, "       sccbench -check\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *check {
+		if !runCheck() {
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

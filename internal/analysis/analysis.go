@@ -1,0 +1,84 @@
+// Package analysis holds the repo's custom static analyzers — the
+// determinism and tracing invariants that keep the simulator reproducible,
+// encoded as checks instead of review folklore.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic) but is built on the standard library alone, since the module
+// deliberately has no dependencies. cmd/metalsvm-vet drives the analyzers
+// both standalone (metalsvm-vet ./...) and as a `go vet -vettool`.
+//
+// Analyzers:
+//
+//   - simdet: simulation packages must stay deterministic — no time.Now, no
+//     math/rand, no go statements, and no map iteration unless annotated
+//     with a //metalsvm:deterministic directive (the sorted-collect idiom).
+//   - tracenil: trace emission must flow through the nil-guarded helper —
+//     (*trace.Buffer) methods keep their nil-receiver guard, and no package
+//     fabricates trace.Event values behind Emit's back.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's parsed and type-checked representation through
+// an analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees, parsed with comments.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Report delivers a finding.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and delivers a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// All returns every analyzer in the suite.
+func All() []*Analyzer { return []*Analyzer{SimDet, TraceNil} }
+
+// Directive is the annotation that marks a map iteration as deliberately
+// order-insensitive (e.g. collecting keys for sorting). It must appear as a
+// comment on the range statement's line or the line above.
+const Directive = "metalsvm:deterministic"
+
+// directiveLines collects the file lines carrying the Directive comment.
+func directiveLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, Directive) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// isTestFile reports whether the file position is in a _test.go file. The
+// invariants guard simulation code; test assertions may iterate maps freely.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

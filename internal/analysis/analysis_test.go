@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// pkgSrc is one synthetic package for a test, in dependency order.
+type pkgSrc struct {
+	path string
+	src  string
+}
+
+// fakeTrace stands in for the real trace package so tracenil tests don't
+// depend on the whole tree.
+var fakeTrace = pkgSrc{path: tracePkgPath, src: `
+package trace
+type Event struct{ Arg uint64 }
+type Buffer struct{ n int }
+func (b *Buffer) Emit(arg uint64) {
+	if b == nil {
+		return
+	}
+	b.n++
+}
+`}
+
+// check typechecks the packages in order and runs the analyzer over the
+// last one, returning the diagnostic messages.
+func check(t *testing.T, a *Analyzer, pkgs ...pkgSrc) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	loaded := map[string]*types.Package{}
+	var last *Pass
+	for _, ps := range pkgs {
+		f, err := parser.ParseFile(fset, strings.ReplaceAll(ps.path, "/", "_")+".go",
+			ps.src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := newInfo()
+		cfg := types.Config{Importer: importerFunc(func(path string) (*types.Package, error) {
+			if p, ok := loaded[path]; ok {
+				return p, nil
+			}
+			return std.Import(path)
+		})}
+		tpkg, err := cfg.Check(ps.path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded[ps.path] = tpkg
+		last = &Pass{Analyzer: a, Fset: fset, Files: []*ast.File{f}, Pkg: tpkg, Info: info}
+	}
+	var msgs []string
+	last.Report = func(d Diagnostic) { msgs = append(msgs, d.Message) }
+	if err := a.Run(last); err != nil {
+		t.Fatal(err)
+	}
+	return msgs
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func wantFindings(t *testing.T, msgs []string, substrs ...string) {
+	t.Helper()
+	if len(msgs) != len(substrs) {
+		t.Fatalf("got %d finding(s) %q, want %d", len(msgs), msgs, len(substrs))
+	}
+	for i, sub := range substrs {
+		if !strings.Contains(msgs[i], sub) {
+			t.Fatalf("finding %d = %q, want substring %q", i, msgs[i], sub)
+		}
+	}
+}
+
+func TestSimDetFlagsHostClock(t *testing.T) {
+	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/kernel", src: `
+package kernel
+import "time"
+func bad() int64 { return time.Now().UnixNano() }
+`})
+	wantFindings(t, msgs, "time.Now")
+}
+
+func TestSimDetFlagsMathRand(t *testing.T) {
+	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/svm", src: `
+package svm
+import "math/rand"
+func bad() int { return rand.Int() }
+`})
+	wantFindings(t, msgs, "math/rand")
+}
+
+func TestSimDetFlagsGoStatement(t *testing.T) {
+	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/mailbox", src: `
+package mailbox
+func bad() { go func() {}() }
+`})
+	wantFindings(t, msgs, "go statement")
+}
+
+func TestSimDetFlagsMapRange(t *testing.T) {
+	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/scc", src: `
+package scc
+func bad(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`})
+	wantFindings(t, msgs, "map iteration")
+}
+
+func TestSimDetHonorsDirective(t *testing.T) {
+	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/scc", src: `
+package scc
+import "sort"
+func ok(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	//metalsvm:deterministic — sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+`})
+	wantFindings(t, msgs)
+}
+
+func TestSimDetAllowsSliceRangeAndSimTime(t *testing.T) {
+	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/cpu", src: `
+package cpu
+func ok(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+`})
+	wantFindings(t, msgs)
+}
+
+func TestSimDetExemptsSimPackage(t *testing.T) {
+	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/sim", src: `
+package sim
+func engine() { go func() {}() }
+`})
+	wantFindings(t, msgs)
+}
+
+func TestTraceNilFlagsEventLiteral(t *testing.T) {
+	msgs := check(t, TraceNil, fakeTrace, pkgSrc{path: "metalsvm/internal/svm", src: `
+package svm
+import "metalsvm/internal/trace"
+func bad() trace.Event { return trace.Event{Arg: 1} }
+`})
+	wantFindings(t, msgs, "trace.Event constructed outside")
+}
+
+func TestTraceNilAllowsEmitCalls(t *testing.T) {
+	msgs := check(t, TraceNil, fakeTrace, pkgSrc{path: "metalsvm/internal/svm", src: `
+package svm
+import "metalsvm/internal/trace"
+func ok(b *trace.Buffer) { b.Emit(1) }
+`})
+	wantFindings(t, msgs)
+}
+
+func TestTraceNilRequiresGuard(t *testing.T) {
+	msgs := check(t, TraceNil, pkgSrc{path: tracePkgPath, src: `
+package trace
+type Buffer struct{ n int }
+func (b *Buffer) Emit(arg uint64) {
+	b.n++
+}
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+func (b *Buffer) reset() { b.n = 0 } // unexported: no guard required
+`})
+	wantFindings(t, msgs, "(*Buffer).Emit lacks the leading nil-receiver guard")
+}
+
+// TestTreeIsClean runs the whole suite over the real module: the repo must
+// stay free of determinism and tracing violations.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full tree")
+	}
+	l, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loader found only %d packages", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := pkg.Analyze(All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s", l.Fset.Position(d.Pos), d.Message)
+		}
+	}
+}

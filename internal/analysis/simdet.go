@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// SimDet enforces the simulator's determinism contract: a run is a pure
+// function of its configuration, so simulation code must not read host time,
+// host randomness, or host scheduling. Map iteration order is the classic
+// silent killer — Go randomizes it per run — so every `range` over a map is
+// flagged unless annotated with //metalsvm:deterministic (the collect-keys-
+// then-sort idiom). `go` statements are reserved for internal/sim, whose
+// engine runs exactly one goroutine at a time by construction.
+var SimDet = &Analyzer{
+	Name: "simdet",
+	Doc: "forbid time.Now, math/rand, go statements and unannotated map " +
+		"iteration in simulation packages",
+	Run: runSimDet,
+}
+
+// simDetExempt lists packages allowed to break the rules: internal/sim owns
+// the goroutine handoff machinery, and this package plus its driver run on
+// the host, not in the simulation.
+var simDetExempt = map[string]bool{
+	"metalsvm/internal/sim":      true,
+	"metalsvm/internal/analysis": true,
+	"metalsvm/cmd/metalsvm-vet":  true,
+}
+
+func runSimDet(p *Pass) error {
+	if simDetExempt[p.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		directives := directiveLines(p.Fset, f)
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "simulation code must not import %s: "+
+					"host randomness breaks run-to-run determinism", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(), "go statement outside internal/sim: host "+
+					"scheduling is nondeterministic; use sim.Engine processes")
+			case *ast.CallExpr:
+				if name := timeFuncName(p.Info, n); name != "" {
+					p.Reportf(n.Pos(), "%s reads the host clock; simulated "+
+						"time must come from the engine", name)
+				}
+			case *ast.RangeStmt:
+				t := p.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				line := p.Fset.Position(n.Pos()).Line
+				if directives[line] || directives[line-1] {
+					return true
+				}
+				p.Reportf(n.Pos(), "map iteration order is randomized; sort "+
+					"the keys, or annotate with //%s if order cannot matter", Directive)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// timeFuncName returns the qualified name if the call is a host-clock read
+// from package time ("" otherwise).
+func timeFuncName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return ""
+	}
+	switch fn.Name() {
+	case "Now", "Since", "Until":
+		return "time." + fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TraceNil guards the tracing discipline: layers emit through a
+// possibly-nil *trace.Buffer, so a disabled trace costs one branch and no
+// allocation. That only holds if (a) every exported Buffer method keeps its
+// nil-receiver guard, and (b) nobody fabricates trace.Event values outside
+// the trace package — events exist only because Emit created them, so a nil
+// buffer provably records nothing.
+var TraceNil = &Analyzer{
+	Name: "tracenil",
+	Doc: "trace emission must flow through the nil-guarded (*trace.Buffer) " +
+		"helpers",
+	Run: runTraceNil,
+}
+
+const tracePkgPath = "metalsvm/internal/trace"
+
+func runTraceNil(p *Pass) error {
+	if p.Pkg.Path() == tracePkgPath {
+		checkBufferGuards(p)
+		return nil
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(lit)
+			if t == nil {
+				return true
+			}
+			if named, ok := t.(*types.Named); ok &&
+				named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() == tracePkgPath &&
+				named.Obj().Name() == "Event" {
+				p.Reportf(lit.Pos(), "trace.Event constructed outside the "+
+					"trace package; emit through the nil-guarded Buffer.Emit")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBufferGuards requires every exported pointer-receiver method of
+// trace.Buffer to begin with an `if <recv> == nil` guard, keeping the whole
+// emission surface safe on a nil buffer.
+func checkBufferGuards(p *Pass) {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			star, ok := recv.Type.(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			ident, ok := star.X.(*ast.Ident)
+			if !ok || ident.Name != "Buffer" {
+				continue
+			}
+			if len(recv.Names) == 0 || !startsWithNilGuard(fd.Body, recv.Names[0].Name) {
+				p.Reportf(fd.Pos(), "(*Buffer).%s lacks the leading nil-receiver "+
+					"guard; callers hold possibly-nil buffers", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// startsWithNilGuard reports whether the body's first statement is
+// `if <recv> == nil { ... }`.
+func startsWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	cmp, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok || cmp.Op.String() != "==" {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == recvName
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(cmp.X) && isNil(cmp.Y)) || (isNil(cmp.X) && isRecv(cmp.Y))
+}

@@ -206,6 +206,9 @@ func TestCommSweepShape(t *testing.T) {
 	}
 }
 
+// TestExperimentsDeterministic enforces DESIGN.md's reproducibility promise
+// for all four experiment harnesses: running any of them twice must yield
+// bit-identical simulated timestamps.
 func TestExperimentsDeterministic(t *testing.T) {
 	a := Fig6(20)
 	b := Fig6(20)
@@ -214,9 +217,28 @@ func TestExperimentsDeterministic(t *testing.T) {
 			t.Fatalf("Fig6 nondeterministic at %d: %+v vs %+v", i, a[i], b[i])
 		}
 	}
+
+	f7a := Fig7(20, []int{2, 16})
+	f7b := Fig7(20, []int{2, 16})
+	for i := range f7a {
+		if f7a[i] != f7b[i] {
+			t.Fatalf("Fig7 nondeterministic at %d: %+v vs %+v", i, f7a[i], f7b[i])
+		}
+	}
+
 	s1, _ := Table1Both()
 	s2, _ := Table1Both()
 	if s1 != s2 {
 		t.Fatalf("Table1 nondeterministic: %+v vs %+v", s1, s2)
+	}
+
+	// A reduced Fig9 point per variant: small grid, few iterations, 4 cores.
+	cfg := QuickFig9(3)
+	cfg.Params.Rows, cfg.Params.Cols = 32, 32
+	cfg.CoreCounts = []int{4}
+	f9a := Fig9(cfg)
+	f9b := Fig9(cfg)
+	if f9a[0] != f9b[0] {
+		t.Fatalf("Fig9 nondeterministic: %+v vs %+v", f9a[0], f9b[0])
 	}
 }

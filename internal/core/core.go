@@ -24,6 +24,7 @@ import (
 	"metalsvm/internal/cpu"
 	"metalsvm/internal/kernel"
 	"metalsvm/internal/mailbox"
+	"metalsvm/internal/racecheck"
 	"metalsvm/internal/rcce"
 	"metalsvm/internal/scc"
 	"metalsvm/internal/sim"
@@ -42,6 +43,10 @@ type Options struct {
 	SVM *svm.Config
 	// Members lists the cores to boot (sorted, distinct). Defaults to all.
 	Members []int
+	// Race, when non-nil, enables the happens-before race checker over the
+	// machine's SVM accesses; results are read from Machine.Race after the
+	// run. Checking never changes simulated timestamps.
+	Race *racecheck.Config
 }
 
 // FirstN returns the member list {0, 1, ..., n-1}.
@@ -70,6 +75,8 @@ type Machine struct {
 	Chip    *scc.Chip
 	Cluster *kernel.Cluster
 	SVM     *svm.System
+	// Race is the happens-before checker, non-nil when Options.Race was set.
+	Race *racecheck.Checker
 
 	started bool
 }
@@ -105,7 +112,12 @@ func NewMachine(opts Options) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{Engine: eng, Chip: chip, Cluster: cl, SVM: sys}, nil
+	m := &Machine{Engine: eng, Chip: chip, Cluster: cl, SVM: sys}
+	if opts.Race != nil {
+		m.Race = wireRaceChecker(*opts.Race, chip,
+			[]*kernel.Cluster{cl}, []*svm.System{sys})
+	}
+	return m, nil
 }
 
 // Run boots each member with its main (every member must have one) and

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"metalsvm/internal/kernel"
+	"metalsvm/internal/racecheck"
 	"metalsvm/internal/scc"
 	"metalsvm/internal/sim"
 	"metalsvm/internal/svm"
@@ -18,11 +19,29 @@ import (
 type Domains struct {
 	Engine *sim.Engine
 	Chip   *scc.Chip
+	// Race is the chip-wide happens-before checker, non-nil after
+	// EnableRaceCheck. One checker covers all domains: their core sets and
+	// page ranges are disjoint, so cross-domain conflicts cannot arise, and
+	// sync objects are keyed per cluster/system.
+	Race *racecheck.Checker
 
 	clusters []*kernel.Cluster
 	systems  []*svm.System
 
 	started bool
+}
+
+// EnableRaceCheck attaches a happens-before race checker covering every
+// domain. It must be called before Run; the checker is also returned.
+func (ds *Domains) EnableRaceCheck(cfg racecheck.Config) *racecheck.Checker {
+	if ds.started {
+		panic("core: EnableRaceCheck after Run")
+	}
+	if ds.Race != nil {
+		return ds.Race
+	}
+	ds.Race = wireRaceChecker(cfg, ds.Chip, ds.clusters, ds.systems)
+	return ds.Race
 }
 
 // DomainSpec describes one coherency domain.

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"metalsvm/internal/cpu"
+	"metalsvm/internal/kernel"
+	"metalsvm/internal/mailbox"
+	"metalsvm/internal/racecheck"
+	"metalsvm/internal/scc"
+	"metalsvm/internal/svm"
+	"metalsvm/internal/trace"
+)
+
+// This file wires the racecheck detector into a booted system. Each
+// subsystem exposes its own nil-checkable hook (cpu access hook, mailbox
+// sync hook, svm sync hook); the adapters below translate those callbacks
+// into the checker's acquire/release edges. Sync objects are keyed by the
+// owning subsystem instance, so several clusters or SVM systems on one chip
+// (coherency domains) never alias each other's locks or channels.
+
+// raceTraceCapacity sizes the tracer auto-installed when race checking is
+// enabled on a chip without one, so reports can include a timeline.
+const raceTraceCapacity = 8192
+
+type mailDepKey struct {
+	mb       *mailbox.System
+	from, to int
+}
+
+type mailFreeKey struct {
+	mb       *mailbox.System
+	from, to int
+}
+
+// raceMailHook turns mailbox activity into happens-before edges. A deposit
+// is a release of the sender's history into the slot; observing the slot
+// free first acquires the receiver's consumption (the sender's busy-wait on
+// the flag is real synchronization through uncached MPB memory). A consume
+// acquires the deposit and releases the slot back to the sender. Kernel
+// barriers and the ownership protocol's request/ack mails are built from
+// these sends, so their ordering falls out transitively.
+type raceMailHook struct {
+	k  *racecheck.Checker
+	mb *mailbox.System
+}
+
+func (h raceMailHook) MailDeposited(from, to int) {
+	h.k.Acquire(from, mailFreeKey{h.mb, from, to})
+	h.k.Release(from, mailDepKey{h.mb, from, to})
+}
+
+func (h raceMailHook) MailConsumed(from, to int) {
+	h.k.Acquire(to, mailDepKey{h.mb, from, to})
+	h.k.Release(to, mailFreeKey{h.mb, from, to})
+}
+
+type svmLockKey struct {
+	sys *svm.System
+	id  int
+}
+
+type svmPageKey struct {
+	sys *svm.System
+	idx uint32
+}
+
+// raceSVMHook turns SVM lock and ownership operations into edges.
+type raceSVMHook struct {
+	k   *racecheck.Checker
+	sys *svm.System
+}
+
+// lockKey normalizes a lock id to its physical lock word (ids are taken
+// modulo svm.LockCount).
+func (h raceSVMHook) lockKey(id int) svmLockKey {
+	return svmLockKey{h.sys, ((id % svm.LockCount) + svm.LockCount) % svm.LockCount}
+}
+
+func (h raceSVMHook) LockAcquired(core, lock int) { h.k.Acquire(core, h.lockKey(lock)) }
+func (h raceSVMHook) LockReleased(core, lock int) { h.k.Release(core, h.lockKey(lock)) }
+
+func (h raceSVMHook) OwnershipTransferred(owner, requester int, page uint32) {
+	h.k.Release(owner, svmPageKey{h.sys, page})
+}
+
+func (h raceSVMHook) OwnershipAcquired(core int, page uint32) {
+	h.k.Acquire(core, svmPageKey{h.sys, page})
+}
+
+// wireRaceChecker creates a checker over the chip and attaches it to every
+// given cluster (mailbox edges), SVM system (lock/ownership edges) and
+// member core (access recording). A tracer is installed if absent so race
+// reports carry a timeline.
+func wireRaceChecker(cfg racecheck.Config, chip *scc.Chip,
+	clusters []*kernel.Cluster, systems []*svm.System) *racecheck.Checker {
+	k := racecheck.NewChecker(chip.Cores(), scc.VirtSharedBase, cfg)
+	if chip.Tracer() == nil {
+		chip.SetTracer(trace.NewBuffer(raceTraceCapacity))
+	}
+	k.SetTraceSource(chip.Tracer().Events)
+	for _, cl := range clusters {
+		cl.Mailbox().SetSyncHook(raceMailHook{k, cl.Mailbox()})
+		for _, id := range cl.Members() {
+			chip.Core(id).SetAccessHook(func(c *cpu.Core, vaddr uint32, size int, write bool) {
+				k.OnAccess(c.ID(), vaddr, size, write, c.Now())
+			})
+		}
+	}
+	for _, sys := range systems {
+		sys.SetSyncHook(raceSVMHook{k, sys})
+	}
+	return k
+}

@@ -65,6 +65,13 @@ type FaultHandler func(c *Core, vaddr uint32, write bool, entry pgtable.Entry)
 // IRQHandler services a posted interrupt on the core's goroutine.
 type IRQHandler func(c *Core, irq IRQ)
 
+// AccessHook observes one virtual-memory access (a race checker, an access
+// profiler). It runs on the core's goroutine after translation succeeded —
+// so any page-fault protocol the access triggered has already completed —
+// and must not charge simulated time. A nil hook costs one branch on the
+// access path, mirroring the trace.Buffer discipline.
+type AccessHook func(c *Core, vaddr uint32, size int, write bool)
+
 // Config describes one core's microarchitecture.
 type Config struct {
 	// Clock is the core clock (SCC in the paper: 533 MHz).
@@ -139,6 +146,7 @@ type Core struct {
 
 	faultHandler FaultHandler
 	irqHandler   IRQHandler
+	accessHook   AccessHook
 
 	pendingIRQ uint32 // bitmask by IRQ
 	irqEnabled bool
@@ -212,6 +220,9 @@ func (c *Core) SetFaultHandler(h FaultHandler) { c.faultHandler = h }
 
 // SetIRQHandler installs the interrupt handler (the kernel).
 func (c *Core) SetIRQHandler(h IRQHandler) { c.irqHandler = h }
+
+// SetAccessHook installs the load/store observer; nil disables it.
+func (c *Core) SetAccessHook(h AccessHook) { c.accessHook = h }
 
 // Cycles charges n core cycles of compute time.
 func (c *Core) Cycles(n uint64) { c.proc.Advance(c.cfg.Clock.Cycles(n)) }
@@ -320,6 +331,9 @@ func (c *Core) Load(vaddr uint32, dst []byte) {
 func (c *Core) loadChunk(vaddr uint32, dst []byte) {
 	c.stats.Loads++
 	e := c.translate(vaddr, false)
+	if c.accessHook != nil {
+		c.accessHook(c, vaddr, len(dst), false)
+	}
 	paddr := e.PhysAddr(vaddr)
 	mpbt := e.Flags.Has(pgtable.MPBT)
 
@@ -376,6 +390,9 @@ func (c *Core) Store(vaddr uint32, src []byte) {
 func (c *Core) storeChunk(vaddr uint32, src []byte) {
 	c.stats.Stores++
 	e := c.translate(vaddr, true)
+	if c.accessHook != nil {
+		c.accessHook(c, vaddr, len(src), true)
+	}
 	paddr := e.PhysAddr(vaddr)
 	c.Cycles(c.cfg.StoreCycles)
 

@@ -69,6 +69,17 @@ func PutU32(p []byte, i int, v uint32) {
 	binary.LittleEndian.PutUint32(p[4*i:], v)
 }
 
+// SyncHook observes the mailbox's synchronization behavior (a race checker
+// building happens-before edges). MailDeposited runs on the sender's
+// goroutine once the mail is in the receiver's MPB — at that point the
+// sender has also observed the slot free, i.e. the previous mail consumed.
+// MailConsumed runs on the receiver's goroutine when a mail is taken out.
+// Hooks must not charge simulated time; a nil hook costs one branch.
+type SyncHook interface {
+	MailDeposited(from, to int)
+	MailConsumed(from, to int)
+}
+
 // Stats counts mailbox events.
 type Stats struct {
 	Sends     uint64
@@ -90,6 +101,8 @@ type System struct {
 	freeSig []*sim.Signal
 	// anyFull[to] fires on every deposit for to (poll-mode idle wakeup).
 	anyFull []*sim.Signal
+
+	hook SyncHook
 
 	stats Stats
 }
@@ -118,6 +131,9 @@ func New(chip *scc.Chip, mode Mode) *System {
 
 // Mode returns the delivery mode.
 func (s *System) Mode() Mode { return s.mode }
+
+// SetSyncHook installs the synchronization observer; nil disables it.
+func (s *System) SetSyncHook(h SyncHook) { s.hook = h }
 
 // Stats returns a snapshot of the counters.
 func (s *System) Stats() Stats { return s.stats }
@@ -173,6 +189,9 @@ func (s *System) Send(from, to int, typ byte, payload []byte) {
 	copy(line[4:], payload)
 	s.chip.MPBWrite(from, to, off, line[:])
 	s.stats.Sends++
+	if s.hook != nil {
+		s.hook.MailDeposited(from, to)
+	}
 	s.chip.Tracer().Emit(core.Proc().LocalTime(), from, trace.KindMailSend, uint64(to), uint64(typ))
 	now := core.Proc().LocalTime()
 	s.fullSig[s.pair(to, from)].Fire(now)
@@ -202,6 +221,9 @@ func (s *System) Check(receiver, sender int) (Msg, bool) {
 	s.chip.MPBRead(receiver, receiver, off, line[:])
 	s.chip.MPBSetByte(receiver, receiver, off, 0)
 	s.stats.Recvs++
+	if s.hook != nil {
+		s.hook.MailConsumed(sender, receiver)
+	}
 	s.chip.Tracer().Emit(core.Proc().LocalTime(), receiver, trace.KindMailRecv, uint64(sender), uint64(line[1]))
 	msg := Msg{From: sender, Type: line[1]}
 	n := binary.LittleEndian.Uint16(line[2:])

@@ -216,6 +216,9 @@ func (h *Handle) acquireOwnership(idx, page uint32) {
 			if h.acks[idx] > 0 {
 				h.acks[idx]--
 			}
+			if s.hook != nil {
+				s.hook.OwnershipAcquired(me, idx)
+			}
 			return
 		case -1:
 			panic(fmt.Sprintf("svm: page %d mapped but unowned in strong model", idx))
@@ -236,6 +239,9 @@ func (h *Handle) acquireOwnership(idx, page uint32) {
 			h.k.Core().Table.Update(page, func(e *pgtable.Entry) {
 				e.Flags |= pgtable.Present | pgtable.Writable
 			})
+			if s.hook != nil {
+				s.hook.OwnershipAcquired(me, idx)
+			}
 			return
 		}
 		// Retry: the peer was mid-fault on the same page. Back off and
@@ -290,6 +296,9 @@ func (h *Handle) handleOwnerReq(_ *kernel.Kernel, m mailbox.Msg) {
 	}
 	h.k.Core().FlushWCB()
 	h.k.Core().CL1INVMB()
+	if s.hook != nil {
+		s.hook.OwnershipTransferred(me, requester, idx)
+	}
 	s.writeOwner(me, idx, requester)
 	var p [4]byte
 	mailbox.PutU32(p[:], 0, idx)
@@ -338,6 +347,9 @@ func (h *Handle) Lock(id int) {
 		// compete again.
 		s.lockSig(id).Wait(h.k.Core().Proc())
 	}
+	if s.hook != nil {
+		s.hook.LockAcquired(me, id)
+	}
 	h.k.Core().CL1INVMB()
 }
 
@@ -346,6 +358,9 @@ func (h *Handle) Lock(id int) {
 func (h *Handle) Unlock(id int) {
 	s := h.sys
 	me := h.k.ID()
+	if s.hook != nil {
+		s.hook.LockReleased(me, id)
+	}
 	h.k.Core().FlushWCB()
 	addr := s.lockAddr(id)
 	if holder := s.chip.PhysRead32(me, addr); holder != uint32(me)+1 {

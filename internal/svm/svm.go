@@ -62,6 +62,23 @@ const (
 	msgOwnerRetry = kernel.MsgUser + 2 // payload: page index
 )
 
+// SyncHook observes the SVM system's synchronization operations (a race
+// checker building happens-before edges). All methods run on the goroutine
+// of the core named first and must not charge simulated time; a nil hook
+// costs one branch per operation.
+type SyncHook interface {
+	// LockAcquired: core holds SVM lock `lock` (acquire edge).
+	LockAcquired(core, lock int)
+	// LockReleased: core is about to release SVM lock `lock` (release edge).
+	LockReleased(core, lock int)
+	// OwnershipTransferred: the owner hands page `page` to requester
+	// (release edge on the owner's goroutine).
+	OwnershipTransferred(owner, requester int, page uint32)
+	// OwnershipAcquired: core completed an ownership acquisition of `page`
+	// (acquire edge).
+	OwnershipAcquired(core int, page uint32)
+}
+
 // Config holds the SVM system's parameters, including the kernel-path cost
 // calibration (core cycles). The defaults are calibrated so the synthetic
 // benchmark of Section 7.2.1 lands in the region of the paper's Table 1.
@@ -138,7 +155,12 @@ type System struct {
 	lockSigs map[int]*sim.Signal
 
 	handles map[int]*Handle
+
+	hook SyncHook
 }
+
+// SetSyncHook installs the synchronization observer; nil disables it.
+func (s *System) SetSyncHook(h SyncHook) { s.hook = h }
 
 // LockCount is the number of distinct SVM lock words (lock ids are taken
 // modulo this).

@@ -165,6 +165,7 @@ func Summarize(events []Event) Summary {
 func WriteSummary(w io.Writer, s Summary) {
 	fmt.Fprintf(w, "%d events over %.3f us\n", s.Total, (s.Last - s.First).Microseconds())
 	kinds := make([]Kind, 0, len(s.ByKind))
+	//metalsvm:deterministic — keys are collected, then sorted below
 	for k := range s.ByKind {
 		kinds = append(kinds, k)
 	}
@@ -173,6 +174,7 @@ func WriteSummary(w io.Writer, s Summary) {
 		fmt.Fprintf(w, "  %-14s %6d\n", k, s.ByKind[k])
 	}
 	cores := make([]int32, 0, len(s.ByCore))
+	//metalsvm:deterministic — keys are collected, then sorted below
 	for c := range s.ByCore {
 		cores = append(cores, c)
 	}

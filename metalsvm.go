@@ -22,6 +22,7 @@ package metalsvm
 
 import (
 	"metalsvm/internal/core"
+	"metalsvm/internal/racecheck"
 	"metalsvm/internal/svm"
 )
 
@@ -60,3 +61,11 @@ func FirstN(n int) []int { return core.FirstN(n) }
 // SVMConfig returns the calibrated SVM configuration for a model, ready to
 // be customized and passed through Options.SVM.
 func SVMConfig(m Model) svm.Config { return svm.DefaultConfig(m) }
+
+// RaceConfig configures the happens-before race checker; pass a pointer
+// through Options.Race to enable it (the zero value selects the defaults).
+type RaceConfig = racecheck.Config
+
+// RaceChecker is the detector attached to Machine.Race when Options.Race
+// is set; inspect it after the run with Races, Dynamic, Clean, or Report.
+type RaceChecker = racecheck.Checker
