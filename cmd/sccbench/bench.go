@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+
+	"metalsvm/internal/bench"
+	"metalsvm/internal/bench/runner"
+	"metalsvm/internal/cpu"
+	"metalsvm/internal/fastpath"
+	"metalsvm/internal/pgtable"
+	"metalsvm/internal/stats"
+)
+
+// benchReportFile is where -bench writes its machine-readable report.
+const benchReportFile = "BENCH_sim.json"
+
+// benchExperiment is one quick-configuration experiment the -bench mode
+// times. run must be a pure function of the global fast-path switch and
+// the bench parallelism; simUS converts its result to total simulated
+// microseconds (for latency sweeps this is reconstructed from the reported
+// averages, so sim_cycles_per_sec is a throughput proxy, not an exact
+// retirement count).
+type benchExperiment struct {
+	name  string
+	run   func() any
+	simUS func(any) float64
+}
+
+func benchExperiments() []benchExperiment {
+	const fig6Rounds = 50
+	fig9Cfg := bench.QuickFig9(3)
+	fig9Cfg.CoreCounts = []int{4, 8}
+	return []benchExperiment{
+		{
+			name: "fig6",
+			run:  func() any { return bench.Fig6(fig6Rounds) },
+			simUS: func(v any) float64 {
+				us := 0.0
+				for _, p := range v.([]bench.Fig6Point) {
+					us += (p.PollingUS + p.IPIUS) * fig6Rounds
+				}
+				return us
+			},
+		},
+		{
+			name: "table1",
+			run: func() any {
+				s, l := bench.Table1Both()
+				return table1Results{Strong: s, Lazy: l}
+			},
+			simUS: func(v any) float64 {
+				r := v.(table1Results)
+				pages := float64(bench.Table1Bytes / pgtable.PageSize)
+				us := 0.0
+				for _, m := range []bench.Table1Result{r.Strong, r.Lazy} {
+					us += m.AllocUS + (m.PhysAllocUS+m.MapUS+m.RetrieveUS)*pages
+				}
+				return us
+			},
+		},
+		{
+			name: "fig9-quick",
+			run:  func() any { return bench.Fig9(fig9Cfg) },
+			simUS: func(v any) float64 {
+				us := 0.0
+				for _, p := range v.([]bench.Fig9Point) {
+					us += p.IRCCEUS + p.StrongUS + p.LazyUS
+				}
+				return us
+			},
+		},
+	}
+}
+
+// benchRecord is one experiment's row of BENCH_sim.json. "Slow" is the
+// reference configuration: fast paths off and one simulation at a time —
+// the seed's behaviour. All three configurations must produce bit-identical
+// simulation results; -bench exits non-zero if they do not.
+type benchRecord struct {
+	Experiment      string  `json:"experiment"`
+	SerialSlowSec   float64 `json:"serial_slow_sec"`
+	SerialFastSec   float64 `json:"serial_fast_sec"`
+	ParallelSec     float64 `json:"parallel_sec"`
+	FastPathSpeedup float64 `json:"fastpath_speedup"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+	TotalSpeedup    float64 `json:"total_speedup"`
+	SimulatedUS     float64 `json:"simulated_us"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	FastPathMatches bool    `json:"fastpath_matches_reference"`
+	ParallelMatches bool    `json:"parallel_matches_serial"`
+}
+
+type benchReport struct {
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Workers     int           `json:"workers"`
+	Experiments []benchRecord `json:"experiments"`
+}
+
+// runBench times each quick experiment in three configurations — fast
+// paths off + serial (the reference), fast paths on + serial, fast paths
+// on + parallel — verifies all three agree bit-exactly, prints a summary,
+// and writes BENCH_sim.json. Returns the process exit code.
+func runBench(workers int) int {
+	report := benchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    runner.New(workers).Workers(),
+	}
+	// Simulated core cycles per reported microsecond (533 MHz cores).
+	cyclesPerUS := 1e6 / float64(cpu.DefaultConfig().Clock.PeriodPS)
+
+	fmt.Printf("sccbench -bench: %d worker(s) on GOMAXPROCS=%d\n",
+		report.Workers, report.GOMAXPROCS)
+	exit := 0
+	for _, ex := range benchExperiments() {
+		var slow, serial, par any
+		fastpath.SetEnabled(false)
+		bench.SetParallelism(1)
+		slowSec := runner.Wall(func() { slow = ex.run() }).Seconds()
+		fastpath.SetEnabled(true)
+		serialSec := runner.Wall(func() { serial = ex.run() }).Seconds()
+		bench.SetParallelism(workers)
+		parSec := runner.Wall(func() { par = ex.run() }).Seconds()
+
+		rec := benchRecord{
+			Experiment:      ex.name,
+			SerialSlowSec:   slowSec,
+			SerialFastSec:   serialSec,
+			ParallelSec:     parSec,
+			FastPathSpeedup: slowSec / serialSec,
+			ParallelSpeedup: serialSec / parSec,
+			TotalSpeedup:    slowSec / parSec,
+			SimulatedUS:     ex.simUS(serial),
+			FastPathMatches: reflect.DeepEqual(slow, serial),
+			ParallelMatches: reflect.DeepEqual(serial, par),
+		}
+		rec.SimCyclesPerSec = rec.SimulatedUS * cyclesPerUS / parSec
+		report.Experiments = append(report.Experiments, rec)
+		if !rec.FastPathMatches {
+			fmt.Fprintf(os.Stderr, "sccbench -bench: %s: fast paths DIVERGE from the reference configuration\n", ex.name)
+			exit = 1
+		}
+		if !rec.ParallelMatches {
+			fmt.Fprintf(os.Stderr, "sccbench -bench: %s: parallel run DIVERGES from the serial run\n", ex.name)
+			exit = 1
+		}
+	}
+	// Leave the process-global switches as the flags configured them.
+	fastpath.SetEnabled(true)
+	bench.SetParallelism(workers)
+
+	t := stats.NewTable("experiment", "ref [s]", "fast [s]", "parallel [s]",
+		"fastpath x", "parallel x", "total x", "Mcycles/s")
+	for _, r := range report.Experiments {
+		t.AddRow(r.Experiment,
+			fmt.Sprintf("%.2f", r.SerialSlowSec),
+			fmt.Sprintf("%.2f", r.SerialFastSec),
+			fmt.Sprintf("%.2f", r.ParallelSec),
+			fmt.Sprintf("%.2f", r.FastPathSpeedup),
+			fmt.Sprintf("%.2f", r.ParallelSpeedup),
+			fmt.Sprintf("%.2f", r.TotalSpeedup),
+			fmt.Sprintf("%.1f", r.SimCyclesPerSec/1e6))
+	}
+	fmt.Print(t)
+	if exit == 0 {
+		fmt.Println("all configurations bit-identical (fast paths and parallel runner)")
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccbench -bench: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(benchReportFile, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sccbench -bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", benchReportFile)
+	return exit
+}

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"os"
 
 	"metalsvm/internal/apps/laplace"
 	"metalsvm/internal/apps/matmul"
 	"metalsvm/internal/apps/taskfarm"
+	"metalsvm/internal/bench/runner"
 	"metalsvm/internal/core"
 	"metalsvm/internal/racecheck"
 	"metalsvm/internal/svm"
@@ -14,24 +17,43 @@ import (
 
 // runCheck executes every shipped workload under both consistency models
 // with the happens-before race checker enabled and reports the verdicts.
-// It returns false if any workload raced.
-func runCheck() bool {
+// The cells of the matrix are independent simulations, so they fan out
+// across the host pool; each cell writes its report into its own buffer
+// and the buffers print in matrix order, so the output is identical at any
+// parallelism. It returns false if any workload raced.
+func runCheck(workers int) bool {
 	fmt.Println("racecheck: happens-before analysis of the shipped workloads")
-	ok := true
+	type cell struct {
+		run func(io.Writer) bool
+		out bytes.Buffer
+		ok  bool
+	}
+	var cells []*cell
 	for _, model := range []svm.Model{svm.Strong, svm.LazyRelease} {
 		for _, w := range []struct {
-			name    string
-			members []int
-			main    func(*core.Env)
+			name string
+			main func() func(*core.Env)
 		}{
-			{"laplace", core.FirstN(8), laplaceMain()},
-			{"matmul", core.FirstN(8), matmulMain()},
-			{"taskfarm", core.FirstN(8), taskfarmMain()},
+			{"laplace", laplaceMain},
+			{"matmul", matmulMain},
+			{"taskfarm", taskfarmMain},
 		} {
-			ok = checkOne(w.name, model, w.members, w.main) && ok
+			name, main, model := w.name, w.main, model
+			cells = append(cells, &cell{run: func(out io.Writer) bool {
+				return checkOne(out, name, model, core.FirstN(8), main())
+			}})
 		}
 	}
-	ok = checkDomains() && ok
+	cells = append(cells, &cell{run: checkDomains})
+
+	p := runner.New(workers)
+	p.Run(len(cells), func(i int) { cells[i].ok = cells[i].run(&cells[i].out) })
+
+	ok := true
+	for _, c := range cells {
+		os.Stdout.Write(c.out.Bytes())
+		ok = ok && c.ok
+	}
 	if ok {
 		fmt.Println("racecheck: all workloads race-free")
 	}
@@ -54,7 +76,7 @@ func taskfarmMain() func(*core.Env) {
 	return func(env *core.Env) { app.Main(env.SVM) }
 }
 
-func checkOne(name string, model svm.Model, members []int, main func(*core.Env)) bool {
+func checkOne(out io.Writer, name string, model svm.Model, members []int, main func(*core.Env)) bool {
 	scfg := svm.DefaultConfig(model)
 	m, err := core.NewMachine(core.Options{
 		SVM:     &scfg,
@@ -62,22 +84,22 @@ func checkOne(name string, model svm.Model, members []int, main func(*core.Env))
 		Race:    &racecheck.Config{},
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "racecheck: %s under %v: %v\n", name, model, err)
+		fmt.Fprintf(out, "racecheck: %s under %v: %v\n", name, model, err)
 		return false
 	}
 	m.RunAll(main)
-	return verdict(fmt.Sprintf("%-9s under %-12v", name, model), m.Race)
+	return verdict(out, fmt.Sprintf("%-9s under %-12v", name, model), m.Race)
 }
 
 // checkDomains runs barrier-ordered traffic in two independent coherency
 // domains under one chip-wide checker.
-func checkDomains() bool {
+func checkDomains(out io.Writer) bool {
 	ds, err := core.NewDomains(nil, []core.DomainSpec{
 		{Members: []int{0, 1, 2, 3}},
 		{Members: []int{24, 25, 30, 31}},
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "racecheck: domains: %v\n", err)
+		fmt.Fprintf(out, "racecheck: domains: %v\n", err)
 		return false
 	}
 	k := ds.EnableRaceCheck(racecheck.Config{})
@@ -90,15 +112,15 @@ func checkDomains() bool {
 		env.SVM.Barrier()
 		env.Core().Load64(base)
 	})
-	return verdict("domains  (2 independent)  ", k)
+	return verdict(out, "domains  (2 independent)  ", k)
 }
 
-func verdict(label string, k *racecheck.Checker) bool {
+func verdict(out io.Writer, label string, k *racecheck.Checker) bool {
 	if k.Clean() {
-		fmt.Printf("  %s  ok (%d reported, %d observed)\n", label, len(k.Races()), k.Dynamic())
+		fmt.Fprintf(out, "  %s  ok (%d reported, %d observed)\n", label, len(k.Races()), k.Dynamic())
 		return true
 	}
-	fmt.Printf("  %s  RACES: %d observation(s)\n", label, k.Dynamic())
-	k.Report(os.Stdout)
+	fmt.Fprintf(out, "  %s  RACES: %d observation(s)\n", label, k.Dynamic())
+	k.Report(out)
 	return false
 }

@@ -14,9 +14,17 @@
 // Flags tune the measurement sizes; the defaults give the paper's shapes
 // in well under a coffee break. All times are simulated (533 MHz cores,
 // 800 MHz mesh and memory, as in the paper's test platform).
+//
+// Independent simulations (one per sweep point) fan out across host CPUs
+// by default; -parallel 1 forces serial execution. The results are
+// bit-identical either way — each simulation is a pure function of its
+// configuration. -json emits machine-readable results instead of tables,
+// and -bench measures the host-side speedup of the fast paths and the
+// parallel runner, writing BENCH_sim.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,17 +38,25 @@ func main() {
 	iters := flag.Int("iters", 50, "Laplace iterations (paper: 5000; per-iteration cost is constant, so crossovers are preserved)")
 	fullLaplace := flag.Bool("full", false, "run the Laplace benchmark with the paper's full 5000 iterations (slow)")
 	check := flag.Bool("check", false, "run the happens-before race checker over every workload and exit non-zero on races")
+	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = one per host CPU, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
+	benchMode := flag.Bool("bench", false, "measure host wall-clock of the experiments (fast paths and parallel runner on vs off), write BENCH_sim.json, and verify the configurations agree bit-exactly")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sccbench [flags] fig6|fig7|table1|fig9|ablation|all\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -check\n")
+		fmt.Fprintf(os.Stderr, "       sccbench -bench\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 	if *check {
-		if !runCheck() {
+		if !runCheck(*parallel) {
 			os.Exit(1)
 		}
 		return
+	}
+	if *benchMode {
+		os.Exit(runBench(*parallel))
 	}
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -51,42 +67,99 @@ func main() {
 	if *fullLaplace {
 		n = 5000
 	}
+	var res *results
+	if *jsonOut {
+		res = &results{}
+	}
 	switch cmd {
 	case "fig6":
-		fig6(*rounds)
+		fig6(*rounds, res)
 	case "fig7":
-		fig7(*rounds)
+		fig7(*rounds, res)
 	case "table1":
-		table1()
+		table1(res)
 	case "fig9":
-		fig9(n)
+		fig9(n, res)
 	case "ablation":
-		ablation(n)
+		ablation(n, res)
 	case "comm":
-		comm(*rounds)
+		comm(*rounds, res)
 	case "all":
-		fig6(*rounds)
-		fmt.Println()
-		fig7(*rounds)
-		fmt.Println()
-		table1()
-		fmt.Println()
-		fig9(n)
-		fmt.Println()
-		ablation(n)
-		fmt.Println()
-		comm(*rounds)
+		fig6(*rounds, res)
+		sep(res)
+		fig7(*rounds, res)
+		sep(res)
+		table1(res)
+		sep(res)
+		fig9(n, res)
+		sep(res)
+		ablation(n, res)
+		sep(res)
+		comm(*rounds, res)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if res != nil {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+	}
 }
 
-func fig6(rounds int) {
+// results collects experiment outputs when -json is set; a nil *results
+// selects the human-readable tables.
+type results struct {
+	Fig6     []bench.Fig6Point `json:"fig6,omitempty"`
+	Fig7     []bench.Fig7Point `json:"fig7,omitempty"`
+	Table1   *table1Results    `json:"table1,omitempty"`
+	Fig9     *fig9Results      `json:"fig9,omitempty"`
+	Ablation *ablationResults  `json:"ablation,omitempty"`
+	Comm     []bench.CommPoint `json:"comm,omitempty"`
+}
+
+type table1Results struct {
+	Strong bench.Table1Result `json:"strong"`
+	Lazy   bench.Table1Result `json:"lazy"`
+}
+
+type fig9Results struct {
+	Iters  int               `json:"iters"`
+	Points []bench.Fig9Point `json:"points"`
+}
+
+type ablationResults struct {
+	WCBEnabledUS        float64 `json:"wcb_enabled_us"`
+	WCBDisabledUS       float64 `json:"wcb_disabled_us"`
+	ScratchpadMPBUS     float64 `json:"scratchpad_mpb_us"`
+	ScratchpadOffDieUS  float64 `json:"scratchpad_offdie_us"`
+	NextTouchRemoteUS   float64 `json:"nexttouch_remote_us"`
+	NextTouchLocalUS    float64 `json:"nexttouch_local_us"`
+	ReadOnlyWritableUS  float64 `json:"readonly_writable_us"`
+	ReadOnlyProtectedUS float64 `json:"readonly_protected_us"`
+}
+
+// sep prints the blank line between sections of `sccbench all` in table
+// mode only.
+func sep(res *results) {
+	if res == nil {
+		fmt.Println()
+	}
+}
+
+func fig6(rounds int, res *results) {
+	points := bench.Fig6(rounds)
+	if res != nil {
+		res.Fig6 = points
+		return
+	}
 	fmt.Println("Figure 6: average mail latency according to the distance")
 	fmt.Println("(half round-trip, two active cores, " + fmt.Sprint(rounds) + " rounds)")
 	t := stats.NewTable("hops", "peer core", "polling [us]", "IPI [us]")
-	for _, p := range bench.Fig6(rounds) {
+	for _, p := range points {
 		t.AddRow(fmt.Sprint(p.Hops), fmt.Sprint(p.Peer), stats.US(p.PollingUS), stats.US(p.IPIUS))
 	}
 	fmt.Print(t)
@@ -94,10 +167,15 @@ func fig6(rounds int) {
 	fmt.Println("the IPI curve sits a small constant (interrupt entry) above polling.")
 }
 
-func fig7(rounds int) {
+func fig7(rounds int, res *results) {
+	points := bench.Fig7(rounds, nil)
+	if res != nil {
+		res.Fig7 = points
+		return
+	}
 	fmt.Println("Figure 7: average mail latency between core 0 and core 30 (5 hops)")
 	t := stats.NewTable("cores", "polling [us]", "IPI [us]", "IPI+noise [us]")
-	for _, p := range bench.Fig7(rounds, nil) {
+	for _, p := range points {
 		t.AddRow(fmt.Sprint(p.Cores), stats.US(p.PollingUS), stats.US(p.IPIUS), stats.US(p.IPINoiseUS))
 	}
 	fmt.Print(t)
@@ -105,9 +183,13 @@ func fig7(rounds int) {
 	fmt.Println("cores (every buffer is checked); both IPI curves stay flat and close.")
 }
 
-func table1() {
-	fmt.Println("Table 1: average overhead by using the SVM system")
+func table1(res *results) {
 	s, l := bench.Table1Both()
+	if res != nil {
+		res.Table1 = &table1Results{Strong: s, Lazy: l}
+		return
+	}
+	fmt.Println("Table 1: average overhead by using the SVM system")
 	t := stats.NewTable("operation", "strong [us]", "lazy release [us]", "paper strong", "paper lazy")
 	t.AddRow("allocation of 4 MByte", stats.US(s.AllocUS), stats.US(l.AllocUS), "741.0", "741.0")
 	t.AddRow("physical allocation of a page frame", stats.US(s.PhysAllocUS), stats.US(l.PhysAllocUS), "112.301", "112.296")
@@ -116,15 +198,20 @@ func table1() {
 	fmt.Print(t)
 }
 
-func fig9(iters int) {
+func fig9(iters int, res *results) {
+	cfg := bench.PaperFig9(iters)
+	points := bench.Fig9(cfg)
+	if res != nil {
+		res.Fig9 = &fig9Results{Iters: iters, Points: points}
+		return
+	}
 	fmt.Printf("Figure 9: runtimes of the Laplace benchmark (1024x512 doubles, %d iterations)\n", iters)
 	if iters != 5000 {
 		fmt.Printf("(paper runs 5000 iterations; multiply by %.1f to compare absolute runtimes)\n",
 			5000/float64(iters))
 	}
-	cfg := bench.PaperFig9(iters)
 	t := stats.NewTable("cores", "iRCCE [ms]", "SVM strong [ms]", "SVM lazy [ms]")
-	for _, p := range bench.Fig9(cfg) {
+	for _, p := range points {
 		t.AddRow(fmt.Sprint(p.Cores), stats.MS(p.IRCCEUS), stats.MS(p.StrongUS), stats.MS(p.LazyUS))
 	}
 	fmt.Print(t)
@@ -133,30 +220,43 @@ func fig9(iters int) {
 	fmt.Println("array slices fit its L2, which the SVM variants sacrifice for the WCB).")
 }
 
-func ablation(iters int) {
-	fmt.Println("Ablation: write-combine buffer (lazy release, 8 cores)")
+func ablation(iters int, res *results) {
 	with, without := bench.AblationWCB(iters, 8)
+	mpb, offDie := bench.AblationScratchpad(256)
+	remote, local := bench.AblationNextTouch(16, 8)
+	writable, readonly := bench.AblationReadOnlyL2(16, 8)
+	if res != nil {
+		res.Ablation = &ablationResults{
+			WCBEnabledUS:        with,
+			WCBDisabledUS:       without,
+			ScratchpadMPBUS:     mpb,
+			ScratchpadOffDieUS:  offDie,
+			NextTouchRemoteUS:   remote,
+			NextTouchLocalUS:    local,
+			ReadOnlyWritableUS:  writable,
+			ReadOnlyProtectedUS: readonly,
+		}
+		return
+	}
+	fmt.Println("Ablation: write-combine buffer (lazy release, 8 cores)")
 	t := stats.NewTable("configuration", "laplace loop [ms]")
 	t.AddRow("WCB enabled (MetalSVM)", stats.MS(with))
 	t.AddRow("WCB disabled (plain write-through)", stats.MS(without))
 	fmt.Print(t)
 
 	fmt.Println("\nAblation: first-touch directory location (Section 6.3)")
-	mpb, offDie := bench.AblationScratchpad(256)
 	t = stats.NewTable("scratchpad location", "map existing page [us]")
 	t.AddRow("on-die MPB (16-bit entries, 256 MiB cap)", stats.US(mpb))
 	t.AddRow("off-die DDR (no cap, slower lookups)", stats.US(offDie))
 	fmt.Print(t)
 
 	fmt.Println("\nAblation: affinity-on-next-touch (Section 8 outlook)")
-	remote, local := bench.AblationNextTouch(16, 8)
 	t = stats.NewTable("frame placement", "cold scan of 16 pages [us]")
 	t.AddRow("remote controller (as first-touched)", stats.US(remote))
 	t.AddRow("local controller (after next-touch)", stats.US(local))
 	fmt.Print(t)
 
 	fmt.Println("\nAblation: read-only regions re-enable the L2 (Section 6.4)")
-	writable, readonly := bench.AblationReadOnlyL2(16, 8)
 	t = stats.NewTable("region state", "scan of 16 pages [us]")
 	t.AddRow("writable (MPBT: L1 only)", stats.US(writable))
 	t.AddRow("read-only (MPBT cleared: L2 enabled)", stats.US(readonly))
@@ -166,10 +266,15 @@ func ablation(iters int) {
 
 }
 
-func comm(rounds int) {
+func comm(rounds int, res *results) {
+	points := bench.CommSweep(30, nil, rounds/4+1)
+	if res != nil {
+		res.Comm = points
+		return
+	}
 	fmt.Println("Supplementary: RCCE transfer path, core 0 -> core 30 (5 hops)")
 	t := stats.NewTable("bytes", "latency [us]", "bandwidth [MB/s]")
-	for _, p := range bench.CommSweep(30, nil, rounds/4+1) {
+	for _, p := range points {
 		t.AddRow(fmt.Sprint(p.Bytes), stats.US(p.LatencyUS), fmt.Sprintf("%.1f", p.MBPerSec))
 	}
 	fmt.Print(t)

@@ -12,6 +12,9 @@
 //   - simdet: simulation packages must stay deterministic — no time.Now, no
 //     math/rand, no go statements, and no map iteration unless annotated
 //     with a //metalsvm:deterministic directive (the sorted-collect idiom).
+//     Host-side packages annotated //metalsvm:host-parallel above the
+//     package clause may spawn goroutines and read the host clock; the
+//     annotation is rejected inside core simulation packages.
 //   - tracenil: trace emission must flow through the nil-guarded helper —
 //     (*trace.Buffer) methods keep their nil-receiver guard, and no package
 //     fabricates trace.Event values behind Emit's back.
@@ -63,6 +66,14 @@ func All() []*Analyzer { return []*Analyzer{SimDet, TraceNil} }
 // order-insensitive (e.g. collecting keys for sorting). It must appear as a
 // comment on the range statement's line or the line above.
 const Directive = "metalsvm:deterministic"
+
+// HostParallelDirective is the package-level annotation declaring that a
+// package runs on the HOST side of the simulator boundary and is allowed to
+// spawn goroutines and read the host clock — the experiment runner that fans
+// independent simulations across worker goroutines. It must appear in a
+// comment above the package clause, and it is rejected outright in the core
+// simulation packages, where host concurrency would break determinism.
+const HostParallelDirective = "metalsvm:host-parallel"
 
 // directiveLines collects the file lines carrying the Directive comment.
 func directiveLines(fset *token.FileSet, f *ast.File) map[int]bool {

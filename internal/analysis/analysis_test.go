@@ -224,3 +224,73 @@ func TestTreeIsClean(t *testing.T) {
 		}
 	}
 }
+
+func TestSimDetHostParallelAllowsGoAndClock(t *testing.T) {
+	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/bench/runner", src: `
+// Package runner fans simulations across host workers.
+//
+//metalsvm:host-parallel
+package runner
+import "time"
+func ok() time.Duration {
+	start := time.Now()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	return time.Since(start)
+}
+`})
+	wantFindings(t, msgs)
+}
+
+func TestSimDetHostParallelStillFlagsMapRange(t *testing.T) {
+	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/bench/runner", src: `
+//metalsvm:host-parallel
+package runner
+func bad(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`})
+	wantFindings(t, msgs, "map iteration")
+}
+
+func TestSimDetGoStatementStillFlaggedWithoutAnnotation(t *testing.T) {
+	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/bench", src: `
+package bench
+func bad() { go func() {}() }
+`})
+	wantFindings(t, msgs, "go statement")
+}
+
+func TestSimDetHostParallelRejectedInCorePackages(t *testing.T) {
+	for _, path := range []string{
+		"metalsvm/internal/sim",
+		"metalsvm/internal/cpu",
+		"metalsvm/internal/svm",
+		"metalsvm/internal/apps/laplace",
+	} {
+		pkg := path[strings.LastIndex(path, "/")+1:]
+		msgs := check(t, SimDet, pkgSrc{path: path, src: `
+//metalsvm:host-parallel
+package ` + pkg + `
+func f() {}
+`})
+		wantFindings(t, msgs, "not allowed in core simulation package")
+	}
+}
+
+func TestSimDetHostParallelAnnotationMustPrecedePackageClause(t *testing.T) {
+	// A directive buried in a function body does not annotate the package.
+	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/bench", src: `
+package bench
+func bad() {
+	//metalsvm:host-parallel
+	go func() {}()
+}
+`})
+	wantFindings(t, msgs, "go statement")
+}

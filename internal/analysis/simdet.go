@@ -2,8 +2,10 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strconv"
+	"strings"
 )
 
 // SimDet enforces the simulator's determinism contract: a run is a pure
@@ -12,7 +14,11 @@ import (
 // silent killer — Go randomizes it per run — so every `range` over a map is
 // flagged unless annotated with //metalsvm:deterministic (the collect-keys-
 // then-sort idiom). `go` statements are reserved for internal/sim, whose
-// engine runs exactly one goroutine at a time by construction.
+// engine runs exactly one goroutine at a time by construction — and for
+// host-side packages annotated //metalsvm:host-parallel above the package
+// clause, which fan whole independent simulations across workers (the
+// annotation also unlocks the host clock for wall-time measurement, and is
+// itself an error inside core simulation packages).
 var SimDet = &Analyzer{
 	Name: "simdet",
 	Doc: "forbid time.Now, math/rand, go statements and unannotated map " +
@@ -29,7 +35,66 @@ var simDetExempt = map[string]bool{
 	"metalsvm/cmd/metalsvm-vet":  true,
 }
 
+// hostParallelDenied lists the core simulation packages where the
+// //metalsvm:host-parallel annotation itself is an error: code on the
+// simulated side of the boundary must never spawn host goroutines, so the
+// annotation cannot be used to smuggle concurrency into the model. The
+// apps/ prefix (simulated workloads) is denied too.
+var hostParallelDenied = map[string]bool{
+	"metalsvm/internal/sim":       true,
+	"metalsvm/internal/cpu":       true,
+	"metalsvm/internal/cache":     true,
+	"metalsvm/internal/pgtable":   true,
+	"metalsvm/internal/phys":      true,
+	"metalsvm/internal/mesh":      true,
+	"metalsvm/internal/mailbox":   true,
+	"metalsvm/internal/kernel":    true,
+	"metalsvm/internal/gic":       true,
+	"metalsvm/internal/scc":       true,
+	"metalsvm/internal/rcce":      true,
+	"metalsvm/internal/svm":       true,
+	"metalsvm/internal/racecheck": true,
+	"metalsvm/internal/core":      true,
+	"metalsvm/internal/trace":     true,
+}
+
+func hostParallelDeniedPath(path string) bool {
+	return hostParallelDenied[path] || strings.HasPrefix(path, "metalsvm/internal/apps/")
+}
+
+// hostParallelPos returns the position of a //metalsvm:host-parallel
+// annotation above any file's package clause, or token.NoPos when the
+// package is not annotated.
+func hostParallelPos(files []*ast.File) token.Pos {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			if cg.Pos() >= f.Package {
+				continue
+			}
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, HostParallelDirective) {
+					return c.Pos()
+				}
+			}
+		}
+	}
+	return token.NoPos
+}
+
 func runSimDet(p *Pass) error {
+	// The annotation check runs before the exemption return so that even
+	// always-exempt packages cannot carry a meaningless (and confusing)
+	// host-parallel marker if they are on the simulated side.
+	hostParallel := false
+	if pos := hostParallelPos(p.Files); pos != token.NoPos {
+		if hostParallelDeniedPath(p.Pkg.Path()) {
+			p.Reportf(pos, "//%s is not allowed in core simulation package %s: "+
+				"host goroutines inside the model break determinism",
+				HostParallelDirective, p.Pkg.Path())
+		} else {
+			hostParallel = true
+		}
+	}
 	if simDetExempt[p.Pkg.Path()] {
 		return nil
 	}
@@ -48,10 +113,17 @@ func runSimDet(p *Pass) error {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
+				if hostParallel {
+					return true
+				}
 				p.Reportf(n.Pos(), "go statement outside internal/sim: host "+
-					"scheduling is nondeterministic; use sim.Engine processes")
+					"scheduling is nondeterministic; use sim.Engine processes "+
+					"(or annotate a host-side package with //%s)", HostParallelDirective)
 			case *ast.CallExpr:
 				if name := timeFuncName(p.Info, n); name != "" {
+					if hostParallel {
+						return true
+					}
 					p.Reportf(n.Pos(), "%s reads the host clock; simulated "+
 						"time must come from the engine", name)
 				}

@@ -18,9 +18,12 @@ import (
 // Returns iteration-loop times in microseconds.
 func AblationWCB(iters, cores int) (withWCB, withoutWCB float64) {
 	cfg := QuickFig9(iters)
-	withWCB = Fig9RunSVM(cfg, svm.LazyRelease, cores)
-	cfg.Chip.Core.DisableWCB = true
-	withoutWCB = Fig9RunSVM(cfg, svm.LazyRelease, cores)
+	cfgNoWCB := QuickFig9(iters)
+	cfgNoWCB.Chip.Core.DisableWCB = true
+	runTasks([]func(){
+		func() { withWCB = Fig9RunSVM(cfg, svm.LazyRelease, cores) },
+		func() { withoutWCB = Fig9RunSVM(cfgNoWCB, svm.LazyRelease, cores) },
+	})
 	return withWCB, withoutWCB
 }
 
@@ -65,7 +68,12 @@ func AblationScratchpad(pages uint32) (mpbUS, offDieUS float64) {
 		})
 		return us
 	}
-	return run(false), run(true)
+	var mpb, offDie float64
+	runTasks([]func(){
+		func() { mpb = run(false) },
+		func() { offDie = run(true) },
+	})
+	return mpb, offDie
 }
 
 // AblationMatmulReadOnly runs the matrix-multiply application with its
@@ -88,7 +96,12 @@ func AblationMatmulReadOnly(n, cores int) (writableUS, protectedUS float64) {
 		m.RunAll(func(env *core.Env) { app.Main(env.SVM) })
 		return app.Result().Elapsed.Microseconds()
 	}
-	return run(false), run(true)
+	var writable, protected float64
+	runTasks([]func(){
+		func() { writable = run(false) },
+		func() { protected = run(true) },
+	})
+	return writable, protected
 }
 
 // AblationNextTouch measures the steady-state benefit of

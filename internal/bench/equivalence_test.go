@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"metalsvm/internal/fastpath"
+)
+
+// TestFastPathAndParallelEquivalence is the bit-exactness contract of the
+// host-side optimizations: for every harness, the reference configuration
+// (fast paths off, one simulation at a time — the seed's behaviour), the
+// fast serial configuration, and the fast parallel configuration must
+// produce deep-equal results, down to the last simulated picosecond. Under
+// `go test -race` this doubles as the race test of the parallel runner:
+// four workers drive whole simulations concurrently.
+func TestFastPathAndParallelEquivalence(t *testing.T) {
+	harnesses := []struct {
+		name string
+		run  func() any
+	}{
+		{"fig6", func() any { return Fig6(20) }},
+		{"fig7", func() any { return Fig7(20, []int{2, 4}) }},
+		{"table1", func() any {
+			s, l := Table1Both()
+			return []Table1Result{s, l}
+		}},
+		{"fig9", func() any {
+			cfg := QuickFig9(2)
+			cfg.CoreCounts = []int{2, 4}
+			return Fig9(cfg)
+		}},
+		{"ablation-wcb", func() any {
+			with, without := AblationWCB(2, 4)
+			return []float64{with, without}
+		}},
+	}
+	defer fastpath.SetEnabled(true)
+	defer SetParallelism(0)
+	for _, h := range harnesses {
+		t.Run(h.name, func(t *testing.T) {
+			fastpath.SetEnabled(false)
+			SetParallelism(1)
+			ref := h.run()
+
+			fastpath.SetEnabled(true)
+			SetParallelism(1)
+			fast := h.run()
+			if !reflect.DeepEqual(ref, fast) {
+				t.Errorf("fast paths diverge from reference:\nref  = %+v\nfast = %+v", ref, fast)
+			}
+
+			SetParallelism(4)
+			par := h.run()
+			if !reflect.DeepEqual(fast, par) {
+				t.Errorf("parallel run diverges from serial:\nserial   = %+v\nparallel = %+v", fast, par)
+			}
+
+			fastpath.SetEnabled(false)
+			slowPar := h.run()
+			if !reflect.DeepEqual(ref, slowPar) {
+				t.Errorf("parallel run with fast paths off diverges from reference:\nref      = %+v\nparallel = %+v", ref, slowPar)
+			}
+		})
+	}
+}

@@ -24,29 +24,37 @@ func Fig6(rounds int) []Fig6Point {
 	if err != nil {
 		panic(err)
 	}
+	// Fix the x-axis serially, then fan the independent ping-pong
+	// simulations (one per distance and mode) across the host pool; each
+	// writes its own slot, so the sweep is bit-identical at any
+	// parallelism.
 	var out []Fig6Point
 	for h := 0; h <= m.MaxHops(); h++ {
 		peer := m.CoreAtDistance(0, h)
 		if peer < 0 {
 			continue
 		}
-		members := []int{0, peer}
-		if peer < 0 {
-			continue
-		}
+		out = append(out, Fig6Point{Hops: h, Peer: peer})
+	}
+	var tasks []func()
+	for i := range out {
+		p := &out[i]
+		members := []int{0, p.Peer}
 		if members[0] > members[1] {
 			members[0], members[1] = members[1], members[0]
 		}
-		p := Fig6Point{Hops: h, Peer: peer}
-		p.PollingUS = runPingPong(pingPongConfig{
-			mode: mailbox.ModePolling, a: 0, b: peer, members: members,
-			rounds: rounds, warmup: rounds / 4,
+		tasks = append(tasks, func() {
+			p.PollingUS = runPingPong(pingPongConfig{
+				mode: mailbox.ModePolling, a: 0, b: p.Peer, members: members,
+				rounds: rounds, warmup: rounds / 4,
+			})
+		}, func() {
+			p.IPIUS = runPingPong(pingPongConfig{
+				mode: mailbox.ModeIPI, a: 0, b: p.Peer, members: members,
+				rounds: rounds, warmup: rounds / 4,
+			})
 		})
-		p.IPIUS = runPingPong(pingPongConfig{
-			mode: mailbox.ModeIPI, a: 0, b: peer, members: members,
-			rounds: rounds, warmup: rounds / 4,
-		})
-		out = append(out, p)
 	}
+	runTasks(tasks)
 	return out
 }

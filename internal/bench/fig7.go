@@ -36,23 +36,31 @@ func Fig7(rounds int, coreCounts []int) []Fig7Point {
 	if coreCounts == nil {
 		coreCounts = Fig7CoreCounts()
 	}
-	var out []Fig7Point
-	for _, n := range coreCounts {
+	// One independent simulation per (core count, mode) cell, fanned
+	// across the host pool; each writes its own field of its own point.
+	out := make([]Fig7Point, len(coreCounts))
+	var tasks []func()
+	for i, n := range coreCounts {
+		p := &out[i]
+		p.Cores = n
 		members := fig7Members(n)
-		p := Fig7Point{Cores: n}
-		p.PollingUS = runPingPong(pingPongConfig{
-			mode: mailbox.ModePolling, a: 0, b: 30, members: members,
-			rounds: rounds, warmup: rounds / 4,
+		tasks = append(tasks, func() {
+			p.PollingUS = runPingPong(pingPongConfig{
+				mode: mailbox.ModePolling, a: 0, b: 30, members: members,
+				rounds: rounds, warmup: rounds / 4,
+			})
+		}, func() {
+			p.IPIUS = runPingPong(pingPongConfig{
+				mode: mailbox.ModeIPI, a: 0, b: 30, members: members,
+				rounds: rounds, warmup: rounds / 4,
+			})
+		}, func() {
+			p.IPINoiseUS = runPingPong(pingPongConfig{
+				mode: mailbox.ModeIPI, a: 0, b: 30, members: members,
+				rounds: rounds, warmup: rounds / 4, noise: true,
+			})
 		})
-		p.IPIUS = runPingPong(pingPongConfig{
-			mode: mailbox.ModeIPI, a: 0, b: 30, members: members,
-			rounds: rounds, warmup: rounds / 4,
-		})
-		p.IPINoiseUS = runPingPong(pingPongConfig{
-			mode: mailbox.ModeIPI, a: 0, b: 30, members: members,
-			rounds: rounds, warmup: rounds / 4, noise: true,
-		})
-		out = append(out, p)
 	}
+	runTasks(tasks)
 	return out
 }

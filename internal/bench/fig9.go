@@ -86,16 +86,22 @@ func Fig9RunSVM(cfg Fig9Config, model svm.Model, n int) float64 {
 	return app.Result().Elapsed.Microseconds()
 }
 
-// Fig9 runs the full sweep.
+// Fig9 runs the full sweep: one independent simulation per (variant, core
+// count) cell, fanned across the host pool. Each simulation is a pure
+// function of (cfg, variant, n) and writes one field of one pre-assigned
+// point, so the sweep's numbers are identical at any parallelism.
 func Fig9(cfg Fig9Config) []Fig9Point {
-	var out []Fig9Point
-	for _, n := range cfg.CoreCounts {
-		out = append(out, Fig9Point{
-			Cores:    n,
-			IRCCEUS:  Fig9RunBaseline(cfg, n),
-			StrongUS: Fig9RunSVM(cfg, svm.Strong, n),
-			LazyUS:   Fig9RunSVM(cfg, svm.LazyRelease, n),
-		})
+	out := make([]Fig9Point, len(cfg.CoreCounts))
+	var tasks []func()
+	for i, n := range cfg.CoreCounts {
+		p := &out[i]
+		p.Cores = n
+		tasks = append(tasks,
+			func() { p.IRCCEUS = Fig9RunBaseline(cfg, n) },
+			func() { p.StrongUS = Fig9RunSVM(cfg, svm.Strong, n) },
+			func() { p.LazyUS = Fig9RunSVM(cfg, svm.LazyRelease, n) },
+		)
 	}
+	runTasks(tasks)
 	return out
 }

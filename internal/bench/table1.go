@@ -92,7 +92,12 @@ func Table1(model svm.Model) Table1Result {
 	return res
 }
 
-// Table1Both runs the benchmark for both models (the paper's two columns).
+// Table1Both runs the benchmark for both models (the paper's two columns),
+// as two independent simulations across the host pool.
 func Table1Both() (strong, lazy Table1Result) {
-	return Table1(svm.Strong), Table1(svm.LazyRelease)
+	runTasks([]func(){
+		func() { strong = Table1(svm.Strong) },
+		func() { lazy = Table1(svm.LazyRelease) },
+	})
+	return strong, lazy
 }

@@ -21,7 +21,11 @@
 //     write-through traffic into line-granular transactions.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"metalsvm/internal/fastpath"
+)
 
 // LineSize is the SCC cache line size in bytes.
 const LineSize = 32
@@ -69,6 +73,16 @@ type Cache struct {
 	lines []line // sets*ways, set-major
 	tick  uint64
 	stats Stats
+
+	// setMask replaces the modulo in set selection when sets is a power of
+	// two (it always is for the modeled geometries); 0 selects the division
+	// fallback.
+	setMask uint32
+	// hint caches the way of the last hit per set (way+1; 0 = no hint), so
+	// repeat hits skip the linear way scan. Functionally invisible: a hint
+	// probe returns exactly the line the scan would find, and LRU state
+	// advances identically. nil when fast paths are disabled.
+	hint []uint8
 }
 
 // New creates a cache of the given total size and associativity.
@@ -78,12 +92,19 @@ func New(name string, size, ways int) *Cache {
 		panic(fmt.Sprintf("cache %s: invalid geometry size=%d ways=%d", name, size, ways))
 	}
 	sets := size / (ways * LineSize)
-	return &Cache{
+	c := &Cache{
 		name:  name,
 		sets:  sets,
 		ways:  ways,
 		lines: make([]line, sets*ways),
 	}
+	if sets&(sets-1) == 0 {
+		c.setMask = uint32(sets - 1)
+	}
+	if fastpath.Enabled() && ways <= 255 {
+		c.hint = make([]uint8, sets)
+	}
+	return c
 }
 
 // Name returns the cache's diagnostic name.
@@ -98,16 +119,34 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats clears the event counters.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+func (c *Cache) setIndex(paddr uint32) int {
+	if c.setMask != 0 {
+		return int((paddr / LineSize) & c.setMask)
+	}
+	return int(paddr/LineSize) % c.sets
+}
+
 func (c *Cache) set(paddr uint32) []line {
-	s := int(paddr/LineSize) % c.sets
+	s := c.setIndex(paddr)
 	return c.lines[s*c.ways : (s+1)*c.ways]
 }
 
 func (c *Cache) find(paddr uint32) *line {
 	tag := LineAddr(paddr)
-	set := c.set(paddr)
+	s := c.setIndex(paddr)
+	set := c.lines[s*c.ways : (s+1)*c.ways]
+	if c.hint != nil {
+		if w := c.hint[s]; w != 0 {
+			if l := &set[w-1]; l.valid && l.tag == tag {
+				return l
+			}
+		}
+	}
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
+			if c.hint != nil {
+				c.hint[s] = uint8(i + 1)
+			}
 			return &set[i]
 		}
 	}
@@ -121,7 +160,8 @@ func (c *Cache) Load(paddr uint32, dst []byte) bool {
 	c.tick++
 	if l := c.find(paddr); l != nil {
 		l.lastUse = c.tick
-		copy(dst, l.data[paddr&lineMask:])
+		o := int(paddr & lineMask)
+		CopySmall(dst, l.data[o:o+len(dst)])
 		c.stats.Hits++
 		return true
 	}
@@ -183,7 +223,7 @@ func (c *Cache) WriteThrough(paddr uint32, src []byte) bool {
 	c.tick++
 	if l := c.find(paddr); l != nil {
 		l.lastUse = c.tick
-		copy(l.data[paddr&lineMask:], src)
+		CopySmall(l.data[paddr&lineMask:], src)
 		c.stats.WriteHits++
 		return true
 	}
@@ -201,7 +241,7 @@ func (c *Cache) WriteUpdate(paddr uint32, src []byte) bool {
 	if l := c.find(paddr); l != nil {
 		l.lastUse = c.tick
 		l.dirty = true
-		copy(l.data[paddr&lineMask:], src)
+		CopySmall(l.data[paddr&lineMask:], src)
 		c.stats.WriteHits++
 		return true
 	}
@@ -261,8 +301,29 @@ func (c *Cache) ValidLines() int {
 	return n
 }
 
+// CopySmall copies len(src) bytes into dst (which must be at least as
+// long). The 8- and 4-byte cases — the word sizes every simulated load and
+// store uses — become direct moves instead of memmove calls, which profiles
+// show dominating the copy traffic on the access hot path.
+func CopySmall(dst, src []byte) {
+	switch len(src) {
+	case 8:
+		*(*[8]byte)(dst) = [8]byte(src)
+	case 4:
+		*(*[4]byte)(dst) = [4]byte(src)
+	default:
+		copy(dst, src)
+	}
+}
+
+// checkWithinLine stays inlinable (every cache access runs it) by keeping
+// the formatting panic out of line.
 func checkWithinLine(paddr uint32, n int) {
 	if n <= 0 || int(paddr&lineMask)+n > LineSize {
-		panic(fmt.Sprintf("cache: access [%#x,+%d) crosses a line boundary", paddr, n))
+		panicCrossesLine(paddr, n)
 	}
+}
+
+func panicCrossesLine(paddr uint32, n int) {
+	panic(fmt.Sprintf("cache: access [%#x,+%d) crosses a line boundary", paddr, n))
 }

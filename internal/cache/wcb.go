@@ -61,10 +61,8 @@ func (w *WCB) Write(paddr uint32, src []byte) (drain Flushed, drained bool) {
 		w.mask = 0
 	}
 	off := paddr & lineMask
-	copy(w.data[off:], src)
-	for i := 0; i < len(src); i++ {
-		w.mask |= 1 << (off + uint32(i))
-	}
+	CopySmall(w.data[off:], src)
+	w.mask |= uint32((uint64(1)<<uint(len(src)) - 1) << off)
 	w.stats.Writes++
 	return drain, drained
 }

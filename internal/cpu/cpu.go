@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"metalsvm/internal/cache"
+	"metalsvm/internal/fastpath"
 	"metalsvm/internal/pgtable"
 	"metalsvm/internal/sim"
 )
@@ -144,6 +145,18 @@ type Core struct {
 	l2  *cache.Cache
 	wcb *cache.WCB
 
+	// tlb memoizes translations (nil when fast paths are disabled); see
+	// tlb.go for the invalidation contract.
+	tlb *tlb
+	// lineBuf is the scratch line for load fills and storeBuf the scratch
+	// for write-through transactions. Reusing them keeps the buffers off
+	// the heap: passing a stack array through the MemoryBus interface would
+	// force an allocation per miss/store. Neither is live across a
+	// potentially faulting operation, so protocol code running in a fault
+	// handler cannot clobber an in-flight access.
+	lineBuf  [cache.LineSize]byte
+	storeBuf [cache.LineSize]byte
+
 	faultHandler FaultHandler
 	irqHandler   IRQHandler
 	accessHook   AccessHook
@@ -166,6 +179,9 @@ func New(id int, cfg Config, bus MemoryBus) *Core {
 		l1:         cache.New(fmt.Sprintf("core%d.l1", id), cfg.L1Size, cfg.L1Ways),
 		wcb:        cache.NewWCB(),
 		irqEnabled: true,
+	}
+	if fastpath.Enabled() {
+		c.tlb = new(tlb)
 	}
 	if cfg.L2Size > 0 {
 		c.l2 = cache.New(fmt.Sprintf("core%d.l2", id), cfg.L2Size, cfg.L2Ways)
@@ -299,9 +315,18 @@ func (c *Core) FlushWCB() {
 // translate returns a usable entry for the access, invoking the fault
 // handler until the translation permits it.
 func (c *Core) translate(vaddr uint32, write bool) pgtable.Entry {
+	if c.tlb != nil {
+		if e, ok := c.tlb.lookup(c.Table, vaddr); ok &&
+			(!write || e.Flags.Has(pgtable.Writable)) {
+			return e
+		}
+	}
 	for tries := 0; ; tries++ {
 		e, ok := c.Table.Lookup(vaddr)
 		if ok && e.Flags.Has(pgtable.Present) && (!write || e.Flags.Has(pgtable.Writable)) {
+			if c.tlb != nil {
+				c.tlb.insert(c.Table, vaddr, e)
+			}
 			return e
 		}
 		if c.faultHandler == nil {
@@ -348,13 +373,13 @@ func (c *Core) loadChunk(vaddr uint32, dst []byte) {
 		c.Cycles(c.cfg.L1HitCycles)
 		return
 	}
-	var line [cache.LineSize]byte
+	line := &c.lineBuf
 	la := cache.LineAddr(paddr)
 	if !mpbt && c.l2 != nil {
 		if c.l2.Load(la, line[:]) {
 			c.Cycles(c.cfg.L2HitCycles)
 			c.l1.Fill(paddr, line[:], false)
-			copy(dst, line[paddr-la:])
+			cache.CopySmall(dst, line[paddr-la:paddr-la+uint32(len(dst))])
 			return
 		}
 		// Miss in both: fetch from memory, fill both levels (read
@@ -367,14 +392,14 @@ func (c *Core) loadChunk(vaddr uint32, dst []byte) {
 			}))
 		}
 		c.l1.Fill(paddr, line[:], false)
-		copy(dst, line[paddr-la:])
+		cache.CopySmall(dst, line[paddr-la:paddr-la+uint32(len(dst))])
 		return
 	}
 	// MPBT (or no L2): L1 <- memory directly; the line is tagged MPBT so
 	// CL1INVMB can drop it selectively.
 	c.proc.Advance(c.bus.FetchLine(c.id, la, line[:]))
 	c.l1.Fill(paddr, line[:], mpbt)
-	copy(dst, line[paddr-la:])
+	cache.CopySmall(dst, line[paddr-la:paddr-la+uint32(len(dst))])
 }
 
 // Store writes src to virtual memory through the write-through hierarchy.
@@ -404,7 +429,7 @@ func (c *Core) storeChunk(vaddr uint32, src []byte) {
 		if c.cfg.DisableWCB {
 			// Ablation: byte-granular write-through, one transaction per
 			// store (the paper's "like accesses to uncachable memory").
-			c.proc.Advance(c.bus.WriteMem(c.id, paddr, src))
+			c.proc.Advance(c.bus.WriteMem(c.id, paddr, c.stage(src)))
 			return
 		}
 		// Combine in the WCB; memory traffic happens on drains only.
@@ -423,7 +448,14 @@ func (c *Core) storeChunk(vaddr uint32, src []byte) {
 	}
 	// Miss everywhere: word-granular write-through to memory, one
 	// transaction per store.
-	c.proc.Advance(c.bus.WriteMem(c.id, paddr, src))
+	c.proc.Advance(c.bus.WriteMem(c.id, paddr, c.stage(src)))
+}
+
+// stage copies store data into the core's scratch buffer before it crosses
+// the MemoryBus interface, so callers' stack buffers do not escape.
+func (c *Core) stage(src []byte) []byte {
+	n := copy(c.storeBuf[:], src)
+	return c.storeBuf[:n]
 }
 
 // chunkLen bounds an access at the next line boundary.

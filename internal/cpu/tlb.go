@@ -1,0 +1,67 @@
+package cpu
+
+import "metalsvm/internal/pgtable"
+
+// The per-core software TLB memoizes successful pgtable.Lookup results so
+// the dominant load/store path skips the two-level table walk. It is a pure
+// host-speed optimization: the simulator charges no cycles for table walks
+// (translation cost on the SCC is modeled inside the fault path, not per
+// access), so hitting or missing this TLB cannot move a simulated timestamp.
+//
+// Coherence is by generation number, not by shootdown: every PTE write
+// (Map, Unmap, Update — including the protocol's CL1INVMB-adjacent
+// permission downgrades on ownership transfer) bumps the owning table's
+// version counter, and the TLB compares that counter on every access,
+// flushing itself wholesale when it changed. A core only ever modifies its
+// own table (the paper keeps page tables in private memory), so the version
+// check is the entire invalidation protocol.
+const (
+	tlbBits = 7 // 128 entries, direct-mapped
+	tlbSize = 1 << tlbBits
+	tlbMask = tlbSize - 1
+)
+
+type tlbEntry struct {
+	valid bool
+	vpn   uint32
+	entry pgtable.Entry
+}
+
+type tlb struct {
+	version uint64
+	entries [tlbSize]tlbEntry
+}
+
+// lookup returns the cached entry for vaddr if it is current. table is the
+// core's page table; the hit is only valid while the table's version
+// matches the one observed when the entry was installed.
+func (t *tlb) lookup(table *pgtable.Table, vaddr uint32) (pgtable.Entry, bool) {
+	if v := table.Version(); v != t.version {
+		t.flush(v)
+		return pgtable.Entry{}, false
+	}
+	vpn := pgtable.VPN(vaddr)
+	e := &t.entries[vpn&tlbMask]
+	if e.valid && e.vpn == vpn {
+		return e.entry, true
+	}
+	return pgtable.Entry{}, false
+}
+
+// insert caches a translation that the table walk just produced. The
+// caller must have performed the walk after its last table modification,
+// so the table's current version tags the entry set.
+func (t *tlb) insert(table *pgtable.Table, vaddr uint32, entry pgtable.Entry) {
+	if v := table.Version(); v != t.version {
+		t.flush(v)
+	}
+	vpn := pgtable.VPN(vaddr)
+	t.entries[vpn&tlbMask] = tlbEntry{valid: true, vpn: vpn, entry: entry}
+}
+
+func (t *tlb) flush(version uint64) {
+	t.version = version
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}

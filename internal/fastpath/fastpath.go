@@ -1,0 +1,33 @@
+// Package fastpath holds the global switch for the simulator's host-side
+// fast paths: the typed 4-ary event queue in internal/sim, the per-core
+// software TLB in internal/cpu, and the way-hint probe in internal/cache.
+//
+// Every fast path is bit-exact by construction — it memoizes or restructures
+// host-side work without moving a single simulated timestamp — and the
+// switch exists so the equivalence suite can prove that claim by running
+// whole experiments with the fast paths off and comparing results
+// bit-for-bit (see internal/bench's equivalence tests and the "before"
+// column of sccbench -bench).
+//
+// The switch is read at component construction time only (engine, core and
+// cache creation), never on an access path, so toggling it between
+// experiment runs is cheap and toggling it during a run has no effect on
+// components already built. It is an atomic so the host-parallel experiment
+// runner can race-detector-cleanly build simulations while another
+// goroutine reads the setting.
+package fastpath
+
+import "sync/atomic"
+
+// disabled is inverted so the zero value means "fast paths on" — the
+// production default needs no init call.
+var disabled atomic.Bool
+
+// Enabled reports whether newly built simulator components use the fast
+// paths. Defaults to true.
+func Enabled() bool { return !disabled.Load() }
+
+// SetEnabled flips the switch for subsequently built components. The
+// equivalence tests and sccbench -bench's "before" measurements are the
+// only intended callers of SetEnabled(false).
+func SetEnabled(on bool) { disabled.Store(!on) }

@@ -96,8 +96,19 @@ type Table struct {
 	tlbVPN   uint32
 	tlbEntry Entry
 
+	// version counts table modifications (Map, Unmap, Update). External
+	// memoizers of Lookup results — the per-core software TLB in
+	// internal/cpu — compare it to detect staleness without the table
+	// having to know about them.
+	version uint64
+
 	mapped int
 }
+
+// Version returns the modification counter: it changes on every Map, Unmap
+// and Update, so a cached Lookup result is valid iff the version at caching
+// time still matches.
+func (t *Table) Version() uint64 { return t.version }
 
 // New returns an empty table.
 func New() *Table { return &Table{} }
@@ -145,6 +156,7 @@ func (t *Table) Map(vaddr, pfn uint32, flags Flags) {
 	}
 	tab[ti] = Entry{PFN: pfn, Flags: flags}
 	t.tlbValid = false
+	t.version++
 }
 
 // Unmap removes the entry for the page containing vaddr entirely.
@@ -159,6 +171,7 @@ func (t *Table) Unmap(vaddr uint32) {
 	}
 	tab[ti] = Entry{}
 	t.tlbValid = false
+	t.version++
 }
 
 // Update mutates the entry for vaddr in place via fn. It panics if no entry
@@ -178,6 +191,7 @@ func (t *Table) Update(vaddr uint32, fn func(*Entry)) {
 		t.mapped++
 	}
 	t.tlbValid = false
+	t.version++
 }
 
 // SetFlags ors bits into the entry for vaddr.

@@ -16,9 +16,10 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+
+	"metalsvm/internal/fastpath"
 )
 
 // Time is a point in simulated time, in picoseconds.
@@ -64,37 +65,15 @@ func (c Clock) CyclesFloat(n float64) Duration {
 // ToCycles converts a duration into whole cycles of this clock (rounded down).
 func (c Clock) ToCycles(d Duration) uint64 { return uint64(d) / c.PeriodPS }
 
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
-}
-
 // Engine is the central event queue and scheduler.
 // The zero value is not usable; call NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+	seq uint64
+	// Exactly one of fast/ref is non-nil; see queue.go. Both dispatch in the
+	// identical (time, sequence) order.
+	fast    *quadQueue
+	ref     *refQueue
 	procs   []*Proc
 	stopped bool
 	// running reports whether Run is currently dispatching events. Procs may
@@ -102,22 +81,59 @@ type Engine struct {
 	running bool
 }
 
-// NewEngine returns an engine with its clock at zero.
+// NewEngine returns an engine with its clock at zero. The event-queue
+// implementation is chosen by fastpath.Enabled() at this point and fixed
+// for the engine's lifetime.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	if fastpath.Enabled() {
+		e.fast = &quadQueue{}
+	} else {
+		e.ref = &refQueue{}
+	}
+	return e
+}
+
+// qLen returns the number of queued events.
+func (e *Engine) qLen() int {
+	if e.fast != nil {
+		return e.fast.len()
+	}
+	return e.ref.len()
+}
+
+// qHead returns the next event in dispatch order without removing it.
+func (e *Engine) qHead() (event, bool) {
+	if e.fast != nil {
+		return e.fast.head()
+	}
+	return e.ref.head()
+}
+
+// qPop removes and returns the next event in dispatch order.
+func (e *Engine) qPop() event {
+	if e.fast != nil {
+		return e.fast.pop()
+	}
+	return e.ref.pop()
 }
 
 // Now returns the current global simulated time.
 func (e *Engine) Now() Time { return e.now }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it would violate causality and mask a modeling bug.
+// it would violate causality and mask a modeling bug. Scheduling at the
+// current time takes the queue's append fast path (see queue.go).
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	if e.fast != nil {
+		e.fast.push(event{at: t, seq: e.seq, fn: fn}, e.now)
+	} else {
+		e.ref.push(event{at: t, seq: e.seq, fn: fn})
+	}
 }
 
 // After schedules fn to run d after the current time.
@@ -136,11 +152,12 @@ func (e *Engine) Run() Time { return e.RunUntil(Time(math.MaxUint64)) }
 func (e *Engine) RunUntil(limit Time) Time {
 	e.running = true
 	defer func() { e.running = false }()
-	for !e.stopped && len(e.events) > 0 {
-		if e.events[0].at > limit {
+	for !e.stopped {
+		head, ok := e.qHead()
+		if !ok || head.at > limit {
 			break
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.qPop()
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
@@ -151,7 +168,7 @@ func (e *Engine) RunUntil(limit Time) Time {
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.qLen() }
 
 // Shutdown terminates all process goroutines that are still parked. It must
 // be called after Run returns when processes may still be blocked (for
