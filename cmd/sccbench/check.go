@@ -9,8 +9,10 @@ import (
 	"metalsvm/internal/apps/laplace"
 	"metalsvm/internal/apps/matmul"
 	"metalsvm/internal/apps/taskfarm"
+	"metalsvm/internal/bench"
 	"metalsvm/internal/bench/runner"
 	"metalsvm/internal/core"
+	"metalsvm/internal/profile"
 	"metalsvm/internal/racecheck"
 	"metalsvm/internal/svm"
 )
@@ -45,6 +47,7 @@ func runCheck(workers int) bool {
 		}
 	}
 	cells = append(cells, &cell{run: checkDomains})
+	cells = append(cells, &cell{run: checkPerturbation})
 
 	p := runner.New(workers)
 	p.Run(len(cells), func(i int) { cells[i].ok = cells[i].run(&cells[i].out) })
@@ -113,6 +116,47 @@ func checkDomains(out io.Writer) bool {
 		env.Core().Load64(base)
 	})
 	return verdict(out, "domains  (2 independent)  ", k)
+}
+
+// checkPerturbation enforces the observability contract on representative
+// cells of every figure harness: a run with tracing, race checking, metrics
+// and the profiler all enabled must reproduce the uninstrumented result bit
+// for bit.
+func checkPerturbation(out io.Writer) bool {
+	inst := core.Instrumentation{
+		TraceCapacity: 1 << 14,
+		Race:          &racecheck.Config{},
+		Metrics:       true,
+		Profile:       &profile.Config{},
+	}
+	ok := true
+	verdict := func(name string, plain, observed any) {
+		if plain == observed {
+			fmt.Fprintf(out, "  zero-perturbation %-8s  ok (instrumented run bit-identical)\n", name)
+			return
+		}
+		fmt.Fprintf(out, "  zero-perturbation %-8s  FAILED:\n    plain    = %+v\n    observed = %+v\n",
+			name, plain, observed)
+		ok = false
+	}
+
+	p6, _ := bench.Fig6Observed(50, core.Instrumentation{})
+	o6, _ := bench.Fig6Observed(50, inst)
+	verdict("fig6", p6, o6)
+
+	p7, _ := bench.Fig7Observed(50, 8, core.Instrumentation{})
+	o7, _ := bench.Fig7Observed(50, 8, inst)
+	verdict("fig7", p7, o7)
+
+	t1 := bench.Table1(svm.Strong)
+	t1o, _ := bench.Table1Observed(svm.Strong, inst)
+	verdict("table1", t1, t1o)
+
+	cfg := bench.QuickFig9(2)
+	p9 := bench.Fig9RunSVM(cfg, svm.Strong, 2)
+	o9, _ := bench.Fig9Observed(cfg, svm.Strong, 2, inst)
+	verdict("fig9", p9, o9)
+	return ok
 }
 
 func verdict(out io.Writer, label string, k *racecheck.Checker) bool {

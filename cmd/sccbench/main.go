@@ -41,10 +41,14 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = one per host CPU, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
 	benchMode := flag.Bool("bench", false, "measure host wall-clock of the experiments (fast paths and parallel runner on vs off), write BENCH_sim.json, and verify the configurations agree bit-exactly")
+	metricsFlag := flag.Bool("metrics", false, "run one representative instrumented cell of the chosen harness and print the metrics snapshot")
+	profileFlag := flag.Bool("profile", false, "run one representative instrumented cell of the chosen harness and print the simulated-time profile")
+	perfettoOut := flag.String("perfetto", "", "write the instrumented run as Chrome trace-event JSON to this `file` (Perfetto-loadable; 'all' adds a per-harness suffix)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sccbench [flags] fig6|fig7|table1|fig9|ablation|all\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -check\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -bench\n")
+		fmt.Fprintf(os.Stderr, "       sccbench -metrics|-profile|-perfetto out.json fig6|fig7|table1|fig9|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,6 +70,10 @@ func main() {
 	n := *iters
 	if *fullLaplace {
 		n = 5000
+	}
+	oc := observeConfig{metrics: *metricsFlag, profile: *profileFlag, perfetto: *perfettoOut}
+	if oc.enabled() {
+		os.Exit(runObserve(cmd, *rounds, n, oc))
 	}
 	var res *results
 	if *jsonOut {

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"metalsvm/internal/bench"
+	"metalsvm/internal/core"
+	"metalsvm/internal/profile"
+	"metalsvm/internal/svm"
+)
+
+// observeConfig selects the instrumentation surfaces requested on the
+// command line (-metrics, -profile, -perfetto).
+type observeConfig struct {
+	metrics  bool
+	profile  bool
+	perfetto string // output path; "" is off
+}
+
+func (oc observeConfig) enabled() bool {
+	return oc.metrics || oc.profile || oc.perfetto != ""
+}
+
+// instrumentation translates the flags into an Instrumentation. A Perfetto
+// export implies the profiler (timeline spans) and tracing (protocol
+// instants and flow arrows).
+func (oc observeConfig) instrumentation() core.Instrumentation {
+	inst := core.Instrumentation{Metrics: oc.metrics}
+	if oc.profile || oc.perfetto != "" {
+		inst.Profile = &profile.Config{}
+	}
+	if oc.perfetto != "" {
+		inst.TraceCapacity = 1 << 16
+	}
+	return inst
+}
+
+// runObserve runs one representative instrumented cell per selected harness
+// and renders the requested artifacts. The instrumented runs are
+// bit-identical to the plain harness cells (enforced by -check), so the
+// profiles and metrics describe exactly the runs the tables report.
+func runObserve(cmd string, rounds, iters int, oc observeConfig) int {
+	type harness struct {
+		name string
+		run  func() (string, *core.Observation)
+	}
+	harnesses := map[string]harness{
+		"fig6": {"fig6", func() (string, *core.Observation) {
+			us, obs := bench.Fig6Observed(rounds, oc.instrumentation())
+			return fmt.Sprintf("IPI ping-pong at maximum mesh distance: %.3f us half round trip", us), obs
+		}},
+		"fig7": {"fig7", func() (string, *core.Observation) {
+			us, obs := bench.Fig7Observed(rounds, 48, oc.instrumentation())
+			return fmt.Sprintf("polling ping-pong with 48 activated cores: %.3f us half round trip", us), obs
+		}},
+		"table1": {"table1", func() (string, *core.Observation) {
+			res, obs := bench.Table1Observed(svm.Strong, oc.instrumentation())
+			return fmt.Sprintf("strong-model overhead benchmark: map %.3f us, retrieve %.3f us",
+				res.MapUS, res.RetrieveUS), obs
+		}},
+		"fig9": {"fig9", func() (string, *core.Observation) {
+			us, obs := bench.Fig9Observed(bench.QuickFig9(iters), svm.Strong, 8, oc.instrumentation())
+			return fmt.Sprintf("Laplace on 8 cores, strong model: %.1f us iteration loop", us), obs
+		}},
+	}
+	var selected []harness
+	if cmd == "all" {
+		for _, name := range []string{"fig6", "fig7", "table1", "fig9"} {
+			selected = append(selected, harnesses[name])
+		}
+	} else if h, ok := harnesses[cmd]; ok {
+		selected = append(selected, h)
+	} else {
+		fmt.Fprintf(os.Stderr, "sccbench: -metrics/-profile/-perfetto support fig6|fig7|table1|fig9|all, not %q\n", cmd)
+		return 2
+	}
+
+	for i, h := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		desc, obs := h.run()
+		fmt.Printf("%s: %s\n", h.name, desc)
+		if oc.metrics {
+			fmt.Println("metrics:")
+			obs.MetricsSnapshot().WriteText(os.Stdout)
+		}
+		if oc.profile {
+			fmt.Println("simulated-time profile:")
+			obs.ProfileReport().WriteText(os.Stdout)
+		}
+		if oc.perfetto != "" {
+			path := oc.perfetto
+			if len(selected) > 1 {
+				path = suffixPath(path, h.name)
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+				return 1
+			}
+			err = obs.WritePerfetto(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+				return 1
+			}
+			fmt.Printf("perfetto trace written to %s (load at ui.perfetto.dev)\n", path)
+		}
+	}
+	return 0
+}
+
+// suffixPath inserts "-name" before the path's extension:
+// out.json -> out-fig6.json.
+func suffixPath(path, name string) string {
+	if i := strings.LastIndex(path, "."); i > strings.LastIndex(path, "/") {
+		return path[:i] + "-" + name + path[i:]
+	}
+	return path + "-" + name
+}

@@ -1,26 +1,33 @@
 // Quickstart: boot MetalSVM on four simulated SCC cores, allocate shared
 // virtual memory, and pass a value between cores with no explicit
 // communication — the SVM system's ownership protocol moves the page.
+// Instrumentation (metrics + profiler) rides along through Options.Observe
+// without changing a single simulated cycle.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"os"
 
-	"metalsvm/internal/core"
+	"metalsvm"
 )
 
 func main() {
-	m, err := core.NewMachine(core.Options{
-		Members: core.FirstN(4), // boot cores 0..3 (strong model by default)
+	m, err := metalsvm.NewMachine(metalsvm.Options{
+		Members: metalsvm.FirstN(4), // boot cores 0..3 (strong model by default)
+		Observe: metalsvm.Instrumentation{
+			Metrics: true,
+			Profile: &metalsvm.ProfileConfig{},
+		},
 	})
 	if err != nil {
 		panic(err)
 	}
 
 	results := make([]uint64, 4)
-	m.RunAll(func(env *core.Env) {
+	m.RunAll(func(env *metalsvm.Env) {
 		me := env.K.ID()
 
 		// Collective allocation: every kernel calls it, all get the same
@@ -58,4 +65,12 @@ func main() {
 			panic("shared memory incoherent!")
 		}
 	}
+
+	// The observation holds the run's artifacts: where every simulated
+	// cycle went, and the harvested protocol counters.
+	obs := m.Observability()
+	fmt.Printf("\nSVM moved ownership %d times for %d faults:\n",
+		obs.MetricsSnapshot().Counter("svm.owner_requests"),
+		obs.MetricsSnapshot().Counter("svm.faults"))
+	obs.ProfileReport().WriteText(os.Stdout)
 }

@@ -71,19 +71,28 @@ func Fig9RunBaseline(cfg Fig9Config, n int) float64 {
 
 // Fig9RunSVM runs one SVM variant on n cores.
 func Fig9RunSVM(cfg Fig9Config, model svm.Model, n int) float64 {
+	us, _ := Fig9Observed(cfg, model, n, core.Instrumentation{})
+	return us
+}
+
+// Fig9Observed is Fig9RunSVM with instrumentation wired into the machine.
+// The runtime is bit-identical to an uninstrumented run (the equivalence
+// tests assert this); the observation is nil when inst requests nothing.
+func Fig9Observed(cfg Fig9Config, model svm.Model, n int, inst core.Instrumentation) (float64, *core.Observation) {
 	chip := cfg.Chip
 	scfg := svm.DefaultConfig(model)
 	m, err := core.NewMachine(core.Options{
 		Chip:    &chip,
 		SVM:     &scfg,
 		Members: core.FirstN(n),
+		Observe: inst,
 	})
 	if err != nil {
 		panic(err)
 	}
 	app := laplace.NewSVM(cfg.Params, laplace.SVMOptions{})
 	m.RunAll(func(env *core.Env) { app.Main(env.SVM) })
-	return app.Result().Elapsed.Microseconds()
+	return app.Result().Elapsed.Microseconds(), m.Observability()
 }
 
 // Fig9 runs the full sweep: one independent simulation per (variant, core

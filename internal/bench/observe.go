@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"metalsvm/internal/core"
+	"metalsvm/internal/mailbox"
+	"metalsvm/internal/mesh"
+)
+
+// This file hosts instrumented entry points into the figure harnesses: one
+// representative cell per figure, run with an Instrumentation attached so
+// cmd/sccbench can render metrics, profiles and Perfetto exports. Every
+// observed runner returns exactly the number its plain counterpart would —
+// the observability layer charges no simulated cycles, and the equivalence
+// tests hold the two paths bit-identical.
+
+// Fig6Observed runs Figure 6's representative cell — the IPI ping-pong at
+// the mesh's maximum distance — and returns the half-round-trip latency in
+// microseconds together with the observation.
+func Fig6Observed(rounds int, inst core.Instrumentation) (float64, *core.Observation) {
+	m, err := mesh.New(mesh.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	peer := -1
+	for h := m.MaxHops(); h >= 0 && peer < 0; h-- {
+		peer = m.CoreAtDistance(0, h)
+	}
+	members := []int{0, peer}
+	if members[0] > members[1] {
+		members[0], members[1] = members[1], members[0]
+	}
+	return runPingPongObserved(pingPongConfig{
+		mode: mailbox.ModeIPI, a: 0, b: peer, members: members,
+		rounds: rounds, warmup: rounds / 4,
+	}, inst)
+}
+
+// Fig7Observed runs Figure 7's polling cell at n activated cores — the
+// configuration where idle-core mailbox sweeps dominate — and returns the
+// half-round-trip latency in microseconds together with the observation.
+func Fig7Observed(rounds, n int, inst core.Instrumentation) (float64, *core.Observation) {
+	return runPingPongObserved(pingPongConfig{
+		mode: mailbox.ModePolling, a: 0, b: 30, members: fig7Members(n),
+		rounds: rounds, warmup: rounds / 4,
+	}, inst)
+}

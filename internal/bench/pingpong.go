@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"metalsvm/internal/core"
 	"metalsvm/internal/kernel"
 	"metalsvm/internal/mailbox"
 	"metalsvm/internal/scc"
@@ -43,6 +44,14 @@ func benchChip() scc.Config {
 // runPingPong boots the member set, runs warmup+rounds ping-pongs between a
 // and b, and returns the mean half-round-trip latency in microseconds.
 func runPingPong(cfg pingPongConfig) float64 {
+	us, _ := runPingPongObserved(cfg, core.Instrumentation{})
+	return us
+}
+
+// runPingPongObserved is runPingPong with instrumentation wired in. The
+// latency is bit-identical to an uninstrumented run (the equivalence tests
+// assert this); the observation is nil when inst requests nothing.
+func runPingPongObserved(cfg pingPongConfig, inst core.Instrumentation) (float64, *core.Observation) {
 	eng := sim.NewEngine()
 	chip, err := scc.New(eng, benchChip())
 	if err != nil {
@@ -54,6 +63,7 @@ func runPingPong(cfg pingPongConfig) float64 {
 	if err != nil {
 		panic(err)
 	}
+	obs := core.Observe(inst, chip, []*kernel.Cluster{cl}, nil)
 
 	done := false
 	var elapsed sim.Duration
@@ -147,5 +157,6 @@ func runPingPong(cfg pingPongConfig) float64 {
 
 	eng.Run()
 	eng.Shutdown()
-	return elapsed.Microseconds() / float64(2*cfg.rounds)
+	obs.Finish()
+	return elapsed.Microseconds() / float64(2*cfg.rounds), obs
 }

@@ -38,6 +38,14 @@ const Table1Bytes uint32 = 4 << 20
 
 // Table1 runs the synthetic benchmark for one model.
 func Table1(model svm.Model) Table1Result {
+	res, _ := Table1Observed(model, core.Instrumentation{})
+	return res
+}
+
+// Table1Observed is Table1 with instrumentation wired into the machine. The
+// result is bit-identical to an uninstrumented run (the equivalence tests
+// assert this); the observation is nil when inst requests nothing.
+func Table1Observed(model svm.Model, inst core.Instrumentation) (Table1Result, *core.Observation) {
 	scfg := svm.DefaultConfig(model)
 	ccfg := benchChip()
 	ccfg.PrivateMemPerCore = 1 << 20
@@ -45,6 +53,7 @@ func Table1(model svm.Model) Table1Result {
 		Chip:    &ccfg,
 		SVM:     &scfg,
 		Members: []int{0, 30},
+		Observe: inst,
 	})
 	if err != nil {
 		panic(err)
@@ -89,7 +98,7 @@ func Table1(model svm.Model) Table1Result {
 		},
 	}
 	m.Run(mains)
-	return res
+	return res, m.Observability()
 }
 
 // Table1Both runs the benchmark for both models (the paper's two columns),

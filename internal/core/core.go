@@ -43,9 +43,16 @@ type Options struct {
 	SVM *svm.Config
 	// Members lists the cores to boot (sorted, distinct). Defaults to all.
 	Members []int
+	// Observe configures instrumentation (tracing, race checking, metrics,
+	// profiling) in one place; read the artifacts from
+	// Machine.Observability() after the run.
+	Observe Instrumentation
 	// Race, when non-nil, enables the happens-before race checker over the
 	// machine's SVM accesses; results are read from Machine.Race after the
 	// run. Checking never changes simulated timestamps.
+	//
+	// Deprecated: set Observe.Race instead. This field remains as a shim
+	// that populates Observe.Race when that is nil.
 	Race *racecheck.Config
 }
 
@@ -75,11 +82,18 @@ type Machine struct {
 	Chip    *scc.Chip
 	Cluster *kernel.Cluster
 	SVM     *svm.System
-	// Race is the happens-before checker, non-nil when Options.Race was set.
+	// Race is the happens-before checker, non-nil when race checking was
+	// enabled (via Options.Observe.Race or the deprecated Options.Race).
 	Race *racecheck.Checker
 
+	obs     *Observation
 	started bool
 }
+
+// Observability returns the machine's observation (nil when Options.Observe
+// requested nothing). Artifacts — metrics snapshot, profile report,
+// Perfetto export — are available after Run returns.
+func (m *Machine) Observability() *Observation { return m.obs }
 
 // NewMachine builds the platform, cluster and SVM system.
 func NewMachine(opts Options) (*Machine, error) {
@@ -113,10 +127,12 @@ func NewMachine(opts Options) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{Engine: eng, Chip: chip, Cluster: cl, SVM: sys}
-	if opts.Race != nil {
-		m.Race = wireRaceChecker(*opts.Race, chip,
-			[]*kernel.Cluster{cl}, []*svm.System{sys})
+	obsCfg := opts.Observe
+	if obsCfg.Race == nil {
+		obsCfg.Race = opts.Race // deprecated shim
 	}
+	m.obs = Observe(obsCfg, chip, []*kernel.Cluster{cl}, []*svm.System{sys})
+	m.Race = m.obs.Race()
 	return m, nil
 }
 
@@ -138,6 +154,7 @@ func (m *Machine) Run(mains map[int]func(*Env)) sim.Time {
 	}
 	end := m.Engine.Run()
 	m.Engine.Shutdown()
+	m.obs.Finish()
 	return end
 }
 

@@ -28,11 +28,35 @@ type Domains struct {
 	clusters []*kernel.Cluster
 	systems  []*svm.System
 
+	obs     *Observation
 	started bool
 }
 
+// Observe wires instrumentation covering every domain. It must be called
+// before Run, at most once; the observation (also available later through
+// Observability) is returned.
+func (ds *Domains) Observe(cfg Instrumentation) *Observation {
+	if ds.started {
+		panic("core: Observe after Run")
+	}
+	if ds.obs != nil {
+		panic("core: Observe called twice")
+	}
+	ds.obs = Observe(cfg, ds.Chip, ds.clusters, ds.systems)
+	if r := ds.obs.Race(); r != nil {
+		ds.Race = r
+	}
+	return ds.obs
+}
+
+// Observability returns the domains' observation (nil when Observe was not
+// called or requested nothing).
+func (ds *Domains) Observability() *Observation { return ds.obs }
+
 // EnableRaceCheck attaches a happens-before race checker covering every
 // domain. It must be called before Run; the checker is also returned.
+//
+// Deprecated: use Observe(Instrumentation{Race: &cfg}) instead.
 func (ds *Domains) EnableRaceCheck(cfg racecheck.Config) *racecheck.Checker {
 	if ds.started {
 		panic("core: EnableRaceCheck after Run")
@@ -153,6 +177,7 @@ func (ds *Domains) Run(mains []map[int]func(*Env)) sim.Time {
 	}
 	end := ds.Engine.Run()
 	ds.Engine.Shutdown()
+	ds.obs.Finish()
 	return end
 }
 

@@ -17,6 +17,7 @@ import (
 	"metalsvm/internal/cache"
 	"metalsvm/internal/fastpath"
 	"metalsvm/internal/pgtable"
+	"metalsvm/internal/profile"
 	"metalsvm/internal/sim"
 )
 
@@ -123,11 +124,21 @@ func DefaultConfig() Config {
 
 // Stats counts core-level events.
 type Stats struct {
-	Loads   uint64
-	Stores  uint64
-	Faults  uint64
-	IRQs    uint64
-	WCBROBs uint64 // reads satisfied only after a WCB self-flush
+	Loads     uint64
+	Stores    uint64
+	Faults    uint64
+	IRQs      uint64
+	WCBROBs   uint64 // reads satisfied only after a WCB self-flush
+	TLBHits   uint64
+	TLBMisses uint64
+}
+
+// MeshShareSource is implemented by memory buses that can report the
+// mesh-traversal share of the latest transaction they served for a core
+// (scc.Chip). The profiler uses it to split memory stalls into cache-stall
+// and mesh-transit time.
+type MeshShareSource interface {
+	LastMeshShare(core int) sim.Duration
 }
 
 // Core is one simulated processor.
@@ -160,6 +171,11 @@ type Core struct {
 	faultHandler FaultHandler
 	irqHandler   IRQHandler
 	accessHook   AccessHook
+
+	// prof, when set, receives bucket transitions; meshBus is the bus's
+	// optional mesh-share view used to split memory stalls (see SetProfiler).
+	prof    *profile.Profiler
+	meshBus MeshShareSource
 
 	pendingIRQ uint32 // bitmask by IRQ
 	irqEnabled bool
@@ -240,6 +256,15 @@ func (c *Core) SetIRQHandler(h IRQHandler) { c.irqHandler = h }
 // SetAccessHook installs the load/store observer; nil disables it.
 func (c *Core) SetAccessHook(h AccessHook) { c.accessHook = h }
 
+// SetProfiler installs the cycle-attribution profiler; nil disables it.
+// Like the access hook it charges no simulated time. When the memory bus
+// implements MeshShareSource, memory stalls are split into cache-stall and
+// mesh-transit buckets; otherwise the whole stall counts as cache-stall.
+func (c *Core) SetProfiler(p *profile.Profiler) {
+	c.prof = p
+	c.meshBus, _ = c.bus.(MeshShareSource)
+}
+
 // Cycles charges n core cycles of compute time.
 func (c *Core) Cycles(n uint64) { c.proc.Advance(c.cfg.Clock.Cycles(n)) }
 
@@ -306,7 +331,7 @@ func (c *Core) CL1INVMB() {
 // combined stores visible to the other cores.
 func (c *Core) FlushWCB() {
 	if f, ok := c.wcb.Flush(); ok {
-		c.proc.Advance(c.bus.WriteMaskedLine(c.id, f))
+		c.memStall(c.bus.WriteMaskedLine(c.id, f))
 	}
 }
 
@@ -318,8 +343,10 @@ func (c *Core) translate(vaddr uint32, write bool) pgtable.Entry {
 	if c.tlb != nil {
 		if e, ok := c.tlb.lookup(c.Table, vaddr); ok &&
 			(!write || e.Flags.Has(pgtable.Writable)) {
+			c.stats.TLBHits++
 			return e
 		}
+		c.stats.TLBMisses++
 	}
 	for tries := 0; ; tries++ {
 		e, ok := c.Table.Lookup(vaddr)
@@ -337,9 +364,26 @@ func (c *Core) translate(vaddr uint32, write bool) pgtable.Entry {
 			panic(fmt.Sprintf("core %d: page fault loop at %#x", c.id, vaddr))
 		}
 		c.stats.Faults++
+		c.prof.Enter(c.id, profile.FaultHandling, c.proc.LocalTime())
 		c.Cycles(c.cfg.TrapCycles)
 		c.faultHandler(c, vaddr, write, e)
+		c.prof.Exit(c.id, c.proc.LocalTime())
 	}
+}
+
+// memStall advances the core by a memory transaction's latency and reports
+// the stall to the profiler, splitting off the mesh-traversal share when
+// the bus exposes it.
+func (c *Core) memStall(d sim.Duration) {
+	c.proc.Advance(d)
+	if c.prof == nil {
+		return
+	}
+	var mesh sim.Duration
+	if c.meshBus != nil {
+		mesh = c.meshBus.LastMeshShare(c.id)
+	}
+	c.prof.Stall(c.id, d, mesh, c.proc.LocalTime())
 }
 
 // Load reads len(dst) bytes of virtual memory, charging the modeled
@@ -385,9 +429,9 @@ func (c *Core) loadChunk(vaddr uint32, dst []byte) {
 		// Miss in both: fetch from memory, fill both levels (read
 		// allocate). A dirty victim displaced from the write-back L2 owes
 		// one write-back transaction.
-		c.proc.Advance(c.bus.FetchLine(c.id, la, line[:]))
+		c.memStall(c.bus.FetchLine(c.id, la, line[:]))
 		if v := c.l2.Fill(la, line[:], false); v.Valid && v.Dirty {
-			c.proc.Advance(c.bus.WriteMaskedLine(c.id, cache.Flushed{
+			c.memStall(c.bus.WriteMaskedLine(c.id, cache.Flushed{
 				LineAddr: v.LineAddr, Mask: 0xffffffff, Data: v.Data,
 			}))
 		}
@@ -397,7 +441,7 @@ func (c *Core) loadChunk(vaddr uint32, dst []byte) {
 	}
 	// MPBT (or no L2): L1 <- memory directly; the line is tagged MPBT so
 	// CL1INVMB can drop it selectively.
-	c.proc.Advance(c.bus.FetchLine(c.id, la, line[:]))
+	c.memStall(c.bus.FetchLine(c.id, la, line[:]))
 	c.l1.Fill(paddr, line[:], mpbt)
 	cache.CopySmall(dst, line[paddr-la:paddr-la+uint32(len(dst))])
 }
@@ -429,12 +473,12 @@ func (c *Core) storeChunk(vaddr uint32, src []byte) {
 		if c.cfg.DisableWCB {
 			// Ablation: byte-granular write-through, one transaction per
 			// store (the paper's "like accesses to uncachable memory").
-			c.proc.Advance(c.bus.WriteMem(c.id, paddr, c.stage(src)))
+			c.memStall(c.bus.WriteMem(c.id, paddr, c.stage(src)))
 			return
 		}
 		// Combine in the WCB; memory traffic happens on drains only.
 		if drain, ok := c.wcb.Write(paddr, src); ok {
-			c.proc.Advance(c.bus.WriteMaskedLine(c.id, drain))
+			c.memStall(c.bus.WriteMaskedLine(c.id, drain))
 		}
 		return
 	}
@@ -448,7 +492,7 @@ func (c *Core) storeChunk(vaddr uint32, src []byte) {
 	}
 	// Miss everywhere: word-granular write-through to memory, one
 	// transaction per store.
-	c.proc.Advance(c.bus.WriteMem(c.id, paddr, c.stage(src)))
+	c.memStall(c.bus.WriteMem(c.id, paddr, c.stage(src)))
 }
 
 // stage copies store data into the core's scratch buffer before it crosses

@@ -18,6 +18,7 @@ import (
 
 	"metalsvm/internal/cpu"
 	"metalsvm/internal/mailbox"
+	"metalsvm/internal/profile"
 	"metalsvm/internal/scc"
 	"metalsvm/internal/sim"
 	"metalsvm/internal/trace"
@@ -92,6 +93,17 @@ type Cluster struct {
 	// every member is done, so a late page fault always finds its peer
 	// alive (a real kernel idles and serves — it never "returns").
 	doneCount int
+
+	// prof, when set, receives bucket transitions from barrier and wait
+	// paths; it charges no simulated time.
+	prof *profile.Profiler
+}
+
+// SetProfiler installs the cycle-attribution profiler on the cluster and
+// its mailbox layer; nil disables it.
+func (cl *Cluster) SetProfiler(p *profile.Profiler) {
+	cl.prof = p
+	cl.mb.SetProfiler(p)
 }
 
 // NewCluster creates a cluster over the given (sorted, distinct) member
@@ -303,6 +315,8 @@ func (k *Kernel) handleIRQ(c *cpu.Core, irq cpu.IRQ) {
 // waiting for an ownership reply still serves ownership requests aimed at
 // it. The condition is typically flipped by a registered handler.
 func (k *Kernel) WaitFor(cond func() bool) {
+	k.cluster.prof.EnterIfIdle(k.id, profile.MailboxWait, k.core.Proc().LocalTime())
+	defer func() { k.cluster.prof.Exit(k.id, k.core.Proc().LocalTime()) }()
 	sig := k.cluster.mb.WaitAnySignal(k.id)
 	for !cond() {
 		// Capture the deposit eventcount before scanning: the scan parks
@@ -324,6 +338,7 @@ func (k *Kernel) WaitFor(cond func() bool) {
 func (k *Kernel) Barrier() {
 	k.stats.Barriers++
 	k.Chip().Tracer().Emit(k.core.Now(), k.id, trace.KindBarrier, k.stats.Barriers, 0)
+	k.cluster.prof.Enter(k.id, profile.BarrierWait, k.core.Proc().LocalTime())
 	n := len(k.cluster.members)
 	for r := 1; r < n; r <<= 1 {
 		to := k.cluster.members[(k.idx+r)%n]
@@ -332,6 +347,7 @@ func (k *Kernel) Barrier() {
 		k.WaitFor(func() bool { return k.barrierSeen[from] > k.barrierUsed[from] })
 		k.barrierUsed[from]++
 	}
+	k.cluster.prof.Exit(k.id, k.core.Proc().LocalTime())
 }
 
 // installBarrierHandler is called lazily by Start via RegisterHandler.

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"metalsvm/internal/phys"
+	"metalsvm/internal/profile"
 	"metalsvm/internal/scc"
 	"metalsvm/internal/sim"
 	"metalsvm/internal/trace"
@@ -103,6 +104,7 @@ type System struct {
 	anyFull []*sim.Signal
 
 	hook SyncHook
+	prof *profile.Profiler
 
 	stats Stats
 }
@@ -135,6 +137,11 @@ func (s *System) Mode() Mode { return s.mode }
 // SetSyncHook installs the synchronization observer; nil disables it.
 func (s *System) SetSyncHook(h SyncHook) { s.hook = h }
 
+// SetProfiler installs the cycle-attribution profiler; nil disables it.
+// Send and Check report their time as mailbox wait unless a more specific
+// context (fault handling, barrier) is already active on the core.
+func (s *System) SetProfiler(p *profile.Profiler) { s.prof = p }
+
 // Stats returns a snapshot of the counters.
 func (s *System) Stats() Stats { return s.stats }
 
@@ -161,6 +168,8 @@ func (s *System) Send(from, to int, typ byte, payload []byte) {
 	}
 	core := s.chip.Core(from)
 	off := slotOff(from)
+	s.prof.EnterIfIdle(from, profile.MailboxWait, core.Proc().LocalTime())
+	defer func() { s.prof.Exit(from, core.Proc().LocalTime()) }()
 	// The probe-deposit-notify sequence must be atomic against this core's
 	// own interrupt handler: if the handler ran between the deposit and the
 	// IPI and itself sent to the same destination, it would block on a slot
@@ -208,6 +217,8 @@ func (s *System) Send(from, to int, typ byte, payload []byte) {
 func (s *System) Check(receiver, sender int) (Msg, bool) {
 	s.checkPair(receiver, sender)
 	core := s.chip.Core(receiver)
+	s.prof.EnterIfIdle(receiver, profile.MailboxWait, core.Proc().LocalTime())
+	defer func() { s.prof.Exit(receiver, core.Proc().LocalTime()) }()
 	core.Sync()
 	s.chip.CheckMailCost(receiver)
 	s.stats.Checks++
@@ -236,10 +247,14 @@ func (s *System) Check(receiver, sender int) (Msg, bool) {
 // the check cost.
 func (s *System) HasMail(receiver, sender int) bool {
 	s.checkPair(receiver, sender)
-	s.chip.Core(receiver).Sync()
+	core := s.chip.Core(receiver)
+	s.prof.EnterIfIdle(receiver, profile.MailboxWait, core.Proc().LocalTime())
+	core.Sync()
 	s.chip.CheckMailCost(receiver)
 	s.stats.Checks++
-	return s.chip.MPB().Byte(receiver, slotOff(sender)) != 0
+	full := s.chip.MPB().Byte(receiver, slotOff(sender)) != 0
+	s.prof.Exit(receiver, core.Proc().LocalTime())
+	return full
 }
 
 // WaitAnySignal returns the signal fired whenever any mail is deposited for

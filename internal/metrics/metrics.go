@@ -1,0 +1,280 @@
+// Package metrics provides the observability layer's registry of counters,
+// gauges and histograms. Instruments are charged no simulated cycles: they
+// are plain host-side accumulators the subsystems bump (or the end-of-run
+// harvest fills from the subsystems' stats structs), so an instrumented run
+// is bit-identical to an uninstrumented one.
+//
+// Like trace.Buffer and the profiler, every instrument tolerates a nil
+// receiver (one branch), so call sites need no enablement checks. Snapshot
+// output is deterministic: names are sorted before rendering.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v uint64 }
+
+// Add increases the counter by n; nil-safe.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increases the counter by one; nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; nil reads as zero.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge tracks a last-set value and the maximum it ever reached.
+type Gauge struct {
+	v, max int64
+	set    bool
+}
+
+// Set records a new value; nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if !g.set || v > g.max {
+		g.max = v
+	}
+	g.set = true
+}
+
+// Add shifts the value by d; nil-safe.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.Set(g.v + d)
+	}
+}
+
+// Value returns the last set value; nil reads as zero.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max returns the maximum value ever set; nil reads as zero.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Histogram accumulates a distribution of uint64 samples in power-of-two
+// buckets (bucket i counts samples with bit length i).
+type Histogram struct {
+	counts   [65]uint64
+	n        uint64
+	sum      uint64
+	min, max uint64
+}
+
+func bitLen(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Observe records one sample; nil-safe.
+func (h *Histogram) Observe(v uint64) { h.ObserveN(v, 1) }
+
+// ObserveN records n identical samples (harvesting pre-aggregated counts);
+// nil-safe.
+func (h *Histogram) ObserveN(v, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	h.counts[bitLen(v)] += n
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n += n
+	h.sum += v * n
+}
+
+// Count returns the number of samples; nil reads as zero.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sample total; nil reads as zero.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Registry holds named instruments. Get-or-create accessors keep wiring
+// one-lined; names conventionally read "subsystem.metric".
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	h, ok := r.histograms[name]
+	if !ok {
+		h = new(Histogram)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Name  string
+	Value uint64
+}
+
+// GaugePoint is one gauge in a snapshot.
+type GaugePoint struct {
+	Name       string
+	Value, Max int64
+}
+
+// HistogramPoint is one histogram in a snapshot.
+type HistogramPoint struct {
+	Name           string
+	Count, Sum     uint64
+	Min, Max       uint64
+	CountsByBitLen [65]uint64
+}
+
+// Mean returns the sample mean (zero for an empty histogram).
+func (h HistogramPoint) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is an immutable, name-sorted view of a registry.
+type Snapshot struct {
+	Counters   []CounterPoint
+	Gauges     []GaugePoint
+	Histograms []HistogramPoint
+}
+
+// Snapshot captures the registry's current values, sorted by name so the
+// result is independent of map iteration order.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	//metalsvm:deterministic — keys are collected, then sorted below
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: c.v})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	//metalsvm:deterministic — keys are collected, then sorted below
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: g.v, Max: g.max})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	//metalsvm:deterministic — keys are collected, then sorted below
+	for name, h := range r.histograms {
+		s.Histograms = append(s.Histograms, HistogramPoint{
+			Name: name, Count: h.n, Sum: h.sum, Min: h.min, Max: h.max,
+			CountsByBitLen: h.counts,
+		})
+	}
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Counter returns the named counter's value from the snapshot (zero when
+// absent).
+func (s *Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// WriteText renders the snapshot as aligned name/value lines.
+func (s *Snapshot) WriteText(w io.Writer) {
+	width := 0
+	for _, c := range s.Counters {
+		if len(c.Name) > width {
+			width = len(c.Name)
+		}
+	}
+	for _, g := range s.Gauges {
+		if len(g.Name) > width {
+			width = len(g.Name)
+		}
+	}
+	for _, h := range s.Histograms {
+		if len(h.Name) > width {
+			width = len(h.Name)
+		}
+	}
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "%-*s %12d\n", width, c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(w, "%-*s %12d (max %d)\n", width, g.Name, g.Value, g.Max)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(w, "%-*s %12d samples, mean %.2f, min %d, max %d\n",
+			width, h.Name, h.Count, h.Mean(), h.Min, h.Max)
+	}
+}

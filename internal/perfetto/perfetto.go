@@ -1,0 +1,173 @@
+// Package perfetto exports a simulation run as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// The export builds one track (pid 0, tid = core id) per core:
+//
+//   - the profiler's non-compute spans become complete ("X") events, so a
+//     core's timeline shows where its time went (gaps are compute);
+//   - trace.Buffer events become instant ("i") events on the core that
+//     emitted them;
+//   - the SVM ownership protocol and the mailbox are stitched with flow
+//     arrows ("s"/"f"): fault → owner request → matching ownership transfer
+//     on the owner's core, and every mail send → its consumption.
+//
+// Timestamps are microseconds (the trace-event convention) converted from
+// the simulator's picoseconds; events are emitted sorted per track, so the
+// file doubles as a schema-stable artifact for tests and CI uploads.
+package perfetto
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"metalsvm/internal/profile"
+	"metalsvm/internal/sim"
+	"metalsvm/internal/trace"
+)
+
+// event is one trace-event object. Field order follows the trace-event
+// documentation; encoding/json emits struct fields in declaration order and
+// sorts Args keys, so the output is deterministic.
+type event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int32          `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// file is the JSON object format of a trace-event file.
+type file struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// us converts simulator picoseconds to trace-event microseconds.
+func us(t sim.Time) float64 { return float64(t) / 1e6 }
+
+// Write emits the trace-event JSON for a run's trace events and profiler
+// spans. Either input may be empty.
+func Write(w io.Writer, events []trace.Event, spans []profile.Span) error {
+	var out []event
+
+	// Name the tracks: one thread per core that appears anywhere.
+	cores := map[int32]bool{}
+	//metalsvm:deterministic — keys are collected, then sorted below
+	for _, e := range events {
+		cores[e.Core] = true
+	}
+	for _, s := range spans {
+		cores[s.Core] = true
+	}
+	ids := make([]int32, 0, len(cores))
+	//metalsvm:deterministic — keys are collected, then sorted below
+	for id := range cores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		out = append(out, event{
+			Name: "thread_name", Ph: "M", TID: id,
+			Args: map[string]any{"name": fmt.Sprintf("core %d", id)},
+		})
+	}
+
+	// Profiler spans: complete events, sorted per track (the profiler
+	// records them in per-core chronological order already; a stable sort
+	// by core groups the tracks without reordering within one).
+	spans = append([]profile.Span(nil), spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Core < spans[j].Core })
+	for _, s := range spans {
+		d := us(s.End - s.Start)
+		out = append(out, event{
+			Name: s.Bucket.String(), Cat: "profile", Ph: "X",
+			TS: us(s.Start), Dur: &d, TID: s.Core,
+		})
+	}
+
+	// Trace events: instants, sorted per (core, time) so every track's
+	// timestamps are monotonic.
+	events = append([]trace.Event(nil), events...)
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Core != events[j].Core {
+			return events[i].Core < events[j].Core
+		}
+		return events[i].At < events[j].At
+	})
+	for _, e := range events {
+		out = append(out, event{
+			Name: e.Kind.String(), Cat: "protocol", Ph: "i", S: "t",
+			TS: us(e.At), TID: e.Core,
+			Args: map[string]any{"arg1": e.Arg1, "arg2": e.Arg2},
+		})
+	}
+
+	out = append(out, flows(events)...)
+
+	return json.NewEncoder(w).Encode(file{TraceEvents: out, DisplayTimeUnit: "ns"})
+}
+
+// flows builds the protocol arrows. Pairing walks the events in global
+// time order and matches each start with the first plausible end after it.
+func flows(events []trace.Event) []event {
+	ordered := append([]trace.Event(nil), events...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
+
+	var out []event
+	seq := 0
+	arrow := func(name string, a, b trace.Event) {
+		id := fmt.Sprintf("%s-%d", name, seq)
+		seq++
+		out = append(out, event{
+			Name: name, Cat: "svm", Ph: "s", TS: us(a.At), TID: a.Core, ID: id,
+		}, event{
+			Name: name, Cat: "svm", Ph: "f", BP: "e", TS: us(b.At), TID: b.Core, ID: id,
+		})
+	}
+
+	// Each start event queues under a key; the first matching end event
+	// after it dequeues and draws the arrow. Maps are only keyed into, never
+	// ranged over, and the walk order is the deterministic time order, so
+	// the pairing is reproducible.
+	type pairKey struct{ a, b, c uint64 }
+	pending := map[pairKey][]trace.Event{}
+	push := func(k pairKey, e trace.Event) { pending[k] = append(pending[k], e) }
+	pop := func(k pairKey) (trace.Event, bool) {
+		q := pending[k]
+		if len(q) == 0 {
+			var none trace.Event
+			return none, false
+		}
+		pending[k] = q[1:]
+		return q[0], true
+	}
+	for _, e := range ordered {
+		switch e.Kind {
+		case trace.KindOwnerRequest:
+			// Arg1 = page; an arrow ends at the transfer of that page to us.
+			push(pairKey{0, e.Arg1, uint64(e.Core)}, e)
+		case trace.KindOwnerTransfer:
+			// Arg1 = page, Arg2 = new owner (the requester).
+			if s, ok := pop(pairKey{0, e.Arg1, e.Arg2}); ok {
+				arrow("ownership", s, e)
+			}
+		case trace.KindMailSend:
+			// Arg1 = receiver, Arg2 = type.
+			push(pairKey{1, e.Arg1<<16 | e.Arg2, uint64(e.Core)}, e)
+		case trace.KindMailRecv:
+			// Arg1 = sender, Arg2 = type.
+			if s, ok := pop(pairKey{1, uint64(e.Core)<<16 | e.Arg2, e.Arg1}); ok {
+				arrow("mail", s, e)
+			}
+		}
+	}
+	return out
+}

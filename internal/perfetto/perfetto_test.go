@@ -1,0 +1,144 @@
+package perfetto
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"metalsvm/internal/profile"
+	"metalsvm/internal/trace"
+)
+
+// decoded mirrors the trace-event schema for validation.
+type decoded struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		PID  int     `json:"pid"`
+		TID  int32   `json:"tid"`
+		ID   string  `json:"id"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func export(t *testing.T, events []trace.Event, spans []profile.Span) decoded {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, events, spans); err != nil {
+		t.Fatal(err)
+	}
+	var d decoded
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return d
+}
+
+// TestSchemaAndMonotonicTracks: the export is valid trace-event JSON, every
+// referenced track is named, and within each (track, phase) the timestamps
+// are monotonic.
+func TestSchemaAndMonotonicTracks(t *testing.T) {
+	// Events arrive in emission order: per-core monotonic, globally not.
+	events := []trace.Event{
+		{At: 3_000_000, Core: 1, Kind: trace.KindBarrier},
+		{At: 1_000_000, Core: 0, Kind: trace.KindFault, Arg1: 0x1000},
+		{At: 2_000_000, Core: 0, Kind: trace.KindFirstTouch, Arg1: 1, Arg2: 7},
+	}
+	spans := []profile.Span{
+		{Core: 1, Bucket: profile.BarrierWait, Start: 2_500_000, End: 3_000_000},
+		{Core: 0, Bucket: profile.FaultHandling, Start: 1_000_000, End: 2_000_000},
+		{Core: 0, Bucket: profile.CacheStall, Start: 2_200_000, End: 2_400_000},
+	}
+	d := export(t, events, spans)
+	if d.DisplayTimeUnit == "" {
+		t.Error("no displayTimeUnit")
+	}
+	named := map[int32]bool{}
+	type track struct {
+		tid int32
+		ph  string
+	}
+	last := map[track]float64{}
+	for _, e := range d.TraceEvents {
+		if e.Ph == "M" {
+			named[e.TID] = true
+			continue
+		}
+		k := track{e.TID, e.Ph}
+		if prev, ok := last[k]; ok && e.TS < prev {
+			t.Errorf("track %d phase %q goes backwards: %f after %f", e.TID, e.Ph, e.TS, prev)
+		}
+		last[k] = e.TS
+	}
+	for k := range last {
+		if !named[k.tid] {
+			t.Errorf("track %d has events but no thread_name metadata", k.tid)
+		}
+	}
+}
+
+// TestFlowPairing: ownership and mail hand-offs become s/f arrow pairs with
+// matching ids, source before destination.
+func TestFlowPairing(t *testing.T) {
+	events := []trace.Event{
+		// Core 2 requests page 7 from core 0; core 0 transfers it to core 2.
+		{At: 100_000, Core: 2, Kind: trace.KindOwnerRequest, Arg1: 7, Arg2: 0},
+		{At: 300_000, Core: 0, Kind: trace.KindOwnerTransfer, Arg1: 7, Arg2: 2},
+		// Core 0 mails type 5 to core 1, which consumes it.
+		{At: 150_000, Core: 0, Kind: trace.KindMailSend, Arg1: 1, Arg2: 5},
+		{At: 250_000, Core: 1, Kind: trace.KindMailRecv, Arg1: 0, Arg2: 5},
+		// An unmatched request must not produce a dangling arrow.
+		{At: 400_000, Core: 3, Kind: trace.KindOwnerRequest, Arg1: 9, Arg2: 0},
+	}
+	d := export(t, events, nil)
+	starts := map[string]float64{}
+	ends := map[string]float64{}
+	for _, e := range d.TraceEvents {
+		switch e.Ph {
+		case "s":
+			starts[e.ID] = e.TS
+		case "f":
+			ends[e.ID] = e.TS
+		}
+	}
+	if len(starts) != 2 || len(ends) != 2 {
+		t.Fatalf("arrows: %d starts, %d ends (want 2 each)", len(starts), len(ends))
+	}
+	for id, s := range starts {
+		f, ok := ends[id]
+		if !ok {
+			t.Errorf("arrow %q has no finish", id)
+			continue
+		}
+		if f < s {
+			t.Errorf("arrow %q finishes (%f) before it starts (%f)", id, f, s)
+		}
+	}
+}
+
+// TestDeterministicOutput: two exports of the same input are byte-identical.
+func TestDeterministicOutput(t *testing.T) {
+	events := []trace.Event{
+		{At: 100, Core: 1, Kind: trace.KindMailSend, Arg1: 0, Arg2: 3},
+		{At: 200, Core: 0, Kind: trace.KindMailRecv, Arg1: 1, Arg2: 3},
+	}
+	spans := []profile.Span{{Core: 0, Bucket: profile.MailboxWait, Start: 50, End: 150}}
+	var a, b bytes.Buffer
+	if err := Write(&a, events, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, events, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("export is not deterministic")
+	}
+}
+
+func TestEmptyExport(t *testing.T) {
+	d := export(t, nil, nil)
+	if len(d.TraceEvents) != 0 {
+		t.Fatalf("empty export has %d events", len(d.TraceEvents))
+	}
+}

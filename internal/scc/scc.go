@@ -119,7 +119,45 @@ type Chip struct {
 
 	// tracer, when set, records protocol events from every layer.
 	tracer *trace.Buffer
+
+	// lastMesh remembers, per core, the mesh-traversal share of the latest
+	// memory-bus transaction the chip served for it (cpu.MeshShareSource).
+	// Safe without locking: only one proc executes at a time per engine, and
+	// the issuing core reads its slot right after its own bus call.
+	lastMesh []sim.Duration
+
+	meshStats MeshStats
 }
+
+// MeshStats counts mesh transactions by class, with the hop distribution.
+// Like cpu.Stats these are always-on host-side counters; they charge no
+// simulated time.
+type MeshStats struct {
+	DDRReads    uint64
+	DDRWrites   uint64
+	MPBAccesses uint64
+	TASAccesses uint64
+	IPIs        uint64
+	// HopSum is the total hop count over all counted transactions; HopHist
+	// buckets them by distance (the last bucket absorbs longer paths).
+	HopSum  uint64
+	HopHist [16]uint64
+}
+
+// MeshStats returns a snapshot of the chip's mesh transaction counters.
+func (ch *Chip) MeshStats() MeshStats { return ch.meshStats }
+
+// countHops records one mesh transaction of the given distance.
+func (ch *Chip) countHops(hops int) {
+	ch.meshStats.HopSum += uint64(hops)
+	if hops >= len(ch.meshStats.HopHist) {
+		hops = len(ch.meshStats.HopHist) - 1
+	}
+	ch.meshStats.HopHist[hops]++
+}
+
+// LastMeshShare implements cpu.MeshShareSource.
+func (ch *Chip) LastMeshShare(core int) sim.Duration { return ch.lastMesh[core] }
 
 // SetTracer installs an event buffer; nil disables tracing.
 func (ch *Chip) SetTracer(b *trace.Buffer) { ch.tracer = b }
@@ -148,15 +186,16 @@ func New(eng *sim.Engine, cfg Config) (*Chip, error) {
 		return nil, fmt.Errorf("scc: zero memory clock")
 	}
 	ch := &Chip{
-		cfg:    cfg,
-		eng:    eng,
-		mesh:   m,
-		layout: layout,
-		mem:    phys.NewMem(layout.Total(), pgtable.PageSize),
-		mpb:    phys.NewMPB(n, phys.MPBBytesPerCore),
-		tas:    phys.NewTAS(n),
-		gic:    gic.New(n),
-		cores:  make([]*cpu.Core, n),
+		cfg:      cfg,
+		eng:      eng,
+		mesh:     m,
+		layout:   layout,
+		mem:      phys.NewMem(layout.Total(), pgtable.PageSize),
+		mpb:      phys.NewMPB(n, phys.MPBBytesPerCore),
+		tas:      phys.NewTAS(n),
+		gic:      gic.New(n),
+		cores:    make([]*cpu.Core, n),
+		lastMesh: make([]sim.Duration, n),
 	}
 	// MPB layout: n mailbox slots of one line each, then the scratchpad
 	// (16-bit entry per shared page, distributed round-robin over cores).
@@ -236,8 +275,12 @@ func (ch *Chip) coreClock() sim.Clock { return ch.cfg.Core.Clock }
 func (ch *Chip) ddrReadLatency(core int, paddr uint32) sim.Duration {
 	mc := ch.layout.ControllerOf(paddr)
 	hops := ch.mesh.HopsToController(core, mc)
+	ch.meshStats.DDRReads++
+	ch.countHops(hops)
+	mesh := ch.mesh.RoundTrip(hops)
+	ch.lastMesh[core] = mesh
 	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles) +
-		ch.mesh.RoundTrip(hops) +
+		mesh +
 		ch.cfg.MemClock.Cycles(ch.cfg.Lat.DDRMemCycles)
 }
 
@@ -248,8 +291,12 @@ func (ch *Chip) ddrReadLatency(core int, paddr uint32) sim.Duration {
 func (ch *Chip) ddrWordWriteLatency(core int, paddr uint32) sim.Duration {
 	mc := ch.layout.ControllerOf(paddr)
 	hops := ch.mesh.HopsToController(core, mc)
+	ch.meshStats.DDRWrites++
+	ch.countHops(hops)
+	mesh := ch.mesh.RoundTrip(hops)
+	ch.lastMesh[core] = mesh
 	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles) +
-		ch.mesh.RoundTrip(hops) +
+		mesh +
 		ch.cfg.MemClock.Cycles(ch.cfg.Lat.DDRWriteMemCycles)
 }
 
@@ -258,8 +305,12 @@ func (ch *Chip) ddrWordWriteLatency(core int, paddr uint32) sim.Duration {
 func (ch *Chip) ddrLineWriteLatency(core int, paddr uint32) sim.Duration {
 	mc := ch.layout.ControllerOf(paddr)
 	hops := ch.mesh.HopsToController(core, mc)
+	ch.meshStats.DDRWrites++
+	ch.countHops(hops)
+	mesh := ch.mesh.OneWay(hops)
+	ch.lastMesh[core] = mesh
 	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles/2) +
-		ch.mesh.OneWay(hops) +
+		mesh +
 		ch.cfg.MemClock.Cycles(ch.cfg.Lat.DDRWriteMemCycles)
 }
 

@@ -25,8 +25,11 @@ func (ch *Chip) syncCharge(core int, lat sim.Duration) *cpu.Core {
 // cost plus a mesh round trip (zero hops when owner shares the tile; the
 // local fixed cost still applies, as measured on the SCC).
 func (ch *Chip) mpbLatency(core, owner int) sim.Duration {
+	hops := ch.mesh.HopsCores(core, owner)
+	ch.meshStats.MPBAccesses++
+	ch.countHops(hops)
 	return ch.coreClock().Cycles(ch.cfg.Lat.MPBCoreCycles) +
-		ch.mesh.RoundTrip(ch.mesh.HopsCores(core, owner))
+		ch.mesh.RoundTrip(hops)
 }
 
 // MPBRead synchronously reads from owner's MPB on behalf of core.
@@ -66,8 +69,11 @@ func (ch *Chip) MPBSetByte(core, owner, off int, v byte) {
 }
 
 func (ch *Chip) tasLatency(core, reg int) sim.Duration {
+	hops := ch.mesh.HopsCores(core, reg)
+	ch.meshStats.TASAccesses++
+	ch.countHops(hops)
 	return ch.coreClock().Cycles(ch.cfg.Lat.TASCoreCycles) +
-		ch.mesh.RoundTrip(ch.mesh.HopsCores(core, reg))
+		ch.mesh.RoundTrip(hops)
 }
 
 // TASLock attempts the test-and-set register reg on behalf of core,
@@ -154,6 +160,8 @@ func (ch *Chip) CheckMailCost(core int) {
 func (ch *Chip) RaiseIPI(from, to int) {
 	c := ch.cores[from]
 	ch.tracer.Emit(c.Now(), from, trace.KindIPI, uint64(to), 0)
+	ch.meshStats.IPIs++
+	ch.countHops(ch.gicHops(from) + ch.gicHops(to))
 	c.Sync()
 	raise := ch.coreClock().Cycles(ch.cfg.Lat.IPIRaiseCoreCycles) +
 		ch.mesh.OneWay(ch.gicHops(from))

@@ -7,6 +7,7 @@ import (
 	"metalsvm/internal/kernel"
 	"metalsvm/internal/mailbox"
 	"metalsvm/internal/pgtable"
+	"metalsvm/internal/profile"
 	"metalsvm/internal/trace"
 )
 
@@ -19,6 +20,9 @@ type Stats struct {
 	OwnerServed   uint64 // ownership requests served (as owner)
 	Forwards      uint64 // requests forwarded to the current owner
 	Retries       uint64 // requests answered with retry (page in fault here)
+	Locks         uint64 // SVM lock acquisitions
+	LockWaits     uint64 // times a lock was found taken and the core parked
+	Barriers      uint64 // SVM barriers entered
 }
 
 // Handle is one kernel's view of the SVM system. All methods run on the
@@ -259,6 +263,11 @@ func (h *Handle) handleOwnerReq(_ *kernel.Kernel, m mailbox.Msg) {
 	requester := int(m.U32(1))
 	page := pageVaddr(idx)
 
+	// Serving a peer's fault is fault-handling time even when it lands in
+	// the middle of this core's own wait loop.
+	s.prof.Enter(me, profile.FaultHandling, h.k.Core().Proc().LocalTime())
+	defer func() { s.prof.Exit(me, h.k.Core().Proc().LocalTime()) }()
+
 	if h.inFault[idx] {
 		// We are acquiring this page ourselves; tell the requester to back
 		// off rather than handing away a page mid-access.
@@ -311,9 +320,13 @@ func (h *Handle) handleOwnerReq(_ *kernel.Kernel, m mailbox.Msg) {
 // requires: release (flush) before the rendezvous, acquire (invalidate)
 // after it.
 func (h *Handle) Barrier() {
+	h.stats.Barriers++
+	s := h.sys
+	s.prof.Enter(h.k.ID(), profile.BarrierWait, h.k.Core().Proc().LocalTime())
 	h.k.Core().FlushWCB()
 	h.k.Barrier()
 	h.k.Core().CL1INVMB()
+	s.prof.Exit(h.k.ID(), h.k.Core().Proc().LocalTime())
 }
 
 // Lock enters a critical section under lazy release consistency: acquire
@@ -331,6 +344,8 @@ func (h *Handle) Lock(id int) {
 	me := h.k.ID()
 	reg := id % s.chip.Cores()
 	addr := s.lockAddr(id)
+	h.stats.Locks++
+	s.prof.Enter(me, profile.LockWait, h.k.Core().Proc().LocalTime())
 	for {
 		for !s.chip.TASLock(me, reg) {
 			h.k.Core().Cycles(100)
@@ -345,12 +360,14 @@ func (h *Handle) Lock(id int) {
 		}
 		// Taken: park until some Unlock fires this lock's signal, then
 		// compete again.
+		h.stats.LockWaits++
 		s.lockSig(id).Wait(h.k.Core().Proc())
 	}
 	if s.hook != nil {
 		s.hook.LockAcquired(me, id)
 	}
 	h.k.Core().CL1INVMB()
+	s.prof.Exit(me, h.k.Core().Proc().LocalTime())
 }
 
 // Unlock leaves the critical section: publish the write-combine buffer,
@@ -361,6 +378,7 @@ func (h *Handle) Unlock(id int) {
 	if s.hook != nil {
 		s.hook.LockReleased(me, id)
 	}
+	s.prof.Enter(me, profile.LockWait, h.k.Core().Proc().LocalTime())
 	h.k.Core().FlushWCB()
 	addr := s.lockAddr(id)
 	if holder := s.chip.PhysRead32(me, addr); holder != uint32(me)+1 {
@@ -368,6 +386,7 @@ func (h *Handle) Unlock(id int) {
 	}
 	s.chip.PhysWrite32(me, addr, 0)
 	s.lockSig(id).Fire(h.k.Core().Proc().LocalTime())
+	s.prof.Exit(me, h.k.Core().Proc().LocalTime())
 }
 
 // ProtectReadOnly is the collective mprotect of Section 6.4: after it, the

@@ -34,6 +34,7 @@ import (
 	"metalsvm/internal/kernel"
 	"metalsvm/internal/pgtable"
 	"metalsvm/internal/phys"
+	"metalsvm/internal/profile"
 	"metalsvm/internal/scc"
 	"metalsvm/internal/sim"
 )
@@ -157,10 +158,16 @@ type System struct {
 	handles map[int]*Handle
 
 	hook SyncHook
+	prof *profile.Profiler
 }
 
 // SetSyncHook installs the synchronization observer; nil disables it.
 func (s *System) SetSyncHook(h SyncHook) { s.hook = h }
+
+// SetProfiler installs the cycle-attribution profiler; nil disables it.
+// Owner-side request serving counts as fault handling; Lock/Unlock and
+// Barrier report lock-wait and barrier-wait time.
+func (s *System) SetProfiler(p *profile.Profiler) { s.prof = p }
 
 // LockCount is the number of distinct SVM lock words (lock ids are taken
 // modulo this).

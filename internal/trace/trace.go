@@ -111,7 +111,17 @@ func (b *Buffer) Dropped() uint64 {
 	return b.dropped
 }
 
-// Events returns the retained events in chronological order.
+// Events returns the retained events in emission order, oldest first.
+//
+// Ordering contract: emission order is the simulator's execution order,
+// which is monotonic in At per core but NOT globally — a core running ahead
+// of its peers between sync points may emit a later timestamp before a peer
+// emits an earlier one. After wrap-around (Dropped() > 0) the window starts
+// at the oldest retained event; the order within the window is unchanged.
+// Consumers that need global time order must sort by At themselves (the
+// perfetto exporter does); consumers that need completeness must check
+// Dropped — a wrapped buffer has lost the run's beginning, so cross-event
+// pairings (e.g. a mail send whose receive was overwritten) may dangle.
 func (b *Buffer) Events() []Event {
 	if b == nil {
 		return nil
@@ -142,6 +152,9 @@ type Summary struct {
 	Total  int
 	First  sim.Time
 	Last   sim.Time
+	// Dropped is the number of events lost to ring wrap-around before the
+	// summarized window (zero when summarizing a plain event slice).
+	Dropped uint64
 }
 
 // Summarize builds a Summary over events.
@@ -161,9 +174,24 @@ func Summarize(events []Event) Summary {
 	return s
 }
 
+// Summary summarizes the buffer's retained events, carrying the drop count
+// so a wrapped window is recognizable. Nil-safe.
+func (b *Buffer) Summary() Summary {
+	if b == nil {
+		return Summary{ByKind: map[Kind]int{}, ByCore: map[int32]int{}}
+	}
+	s := Summarize(b.Events())
+	s.Dropped = b.Dropped()
+	return s
+}
+
 // WriteSummary formats a Summary.
 func WriteSummary(w io.Writer, s Summary) {
-	fmt.Fprintf(w, "%d events over %.3f us\n", s.Total, (s.Last - s.First).Microseconds())
+	fmt.Fprintf(w, "%d events over %.3f us", s.Total, (s.Last - s.First).Microseconds())
+	if s.Dropped > 0 {
+		fmt.Fprintf(w, " (%d earlier events dropped by wrap-around)", s.Dropped)
+	}
+	fmt.Fprintln(w)
 	kinds := make([]Kind, 0, len(s.ByKind))
 	//metalsvm:deterministic — keys are collected, then sorted below
 	for k := range s.ByKind {
@@ -214,7 +242,9 @@ func Between(lo, hi sim.Time) func(Event) bool {
 	return func(e Event) bool { return e.At >= lo && e.At < hi }
 }
 
-// WriteTimeline dumps events one per line.
+// WriteTimeline dumps events one per line, in the order given — for a
+// buffer's Events() that is emission order (see the Events contract), so
+// timestamps may interleave non-monotonically across cores.
 func WriteTimeline(w io.Writer, events []Event) {
 	for _, e := range events {
 		fmt.Fprintln(w, e)

@@ -96,6 +96,74 @@ func TestTimelineFormat(t *testing.T) {
 	}
 }
 
+// TestWrappedOrderingContract pins the Events() contract after wrap-around:
+// the window starts at the oldest retained event and keeps emission order,
+// which stays monotonic per core even when cores interleave.
+func TestWrappedOrderingContract(t *testing.T) {
+	b := NewBuffer(4)
+	// Two cores emit alternately; core 1 runs ahead of core 0 (legal:
+	// emission order is execution order, not global time order).
+	b.Emit(10, 0, KindFault, 1, 0)
+	b.Emit(100, 1, KindFault, 2, 0)
+	b.Emit(20, 0, KindFault, 3, 0)
+	b.Emit(200, 1, KindFault, 4, 0)
+	b.Emit(30, 0, KindFault, 5, 0) // wraps: overwrites Arg1=1
+	b.Emit(300, 1, KindFault, 6, 0)
+
+	if b.Dropped() != 2 {
+		t.Fatalf("dropped = %d", b.Dropped())
+	}
+	ev := b.Events()
+	wantArgs := []uint64{3, 4, 5, 6} // emission order from the oldest retained
+	if len(ev) != len(wantArgs) {
+		t.Fatalf("retained %d events", len(ev))
+	}
+	perCoreLast := map[int32]sim.Time{}
+	for i, e := range ev {
+		if e.Arg1 != wantArgs[i] {
+			t.Fatalf("event %d = %+v, want Arg1 %d", i, e, wantArgs[i])
+		}
+		if prev, ok := perCoreLast[e.Core]; ok && e.At < prev {
+			t.Errorf("core %d goes backwards: %d after %d", e.Core, e.At, prev)
+		}
+		perCoreLast[e.Core] = e.At
+	}
+	// The window is NOT globally time-sorted: core 1's At=200 precedes core
+	// 0's At=30 in emission order. The contract only promises per-core
+	// monotonicity; this pins that we do not silently start sorting.
+	if ev[1].At < ev[2].At {
+		t.Fatalf("window unexpectedly globally sorted: %v", ev)
+	}
+}
+
+// TestSummaryCarriesDropCount: Buffer.Summary includes the wrap drop count
+// and WriteSummary surfaces it.
+func TestSummaryCarriesDropCount(t *testing.T) {
+	b := NewBuffer(2)
+	for i := 0; i < 5; i++ {
+		b.Emit(simTime(i), 0, KindFault, uint64(i), 0)
+	}
+	s := b.Summary()
+	if s.Dropped != 3 || s.Total != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	var sb strings.Builder
+	WriteSummary(&sb, s)
+	if !strings.Contains(sb.String(), "3 earlier events dropped") {
+		t.Fatalf("summary output lacks drop count:\n%s", sb.String())
+	}
+	// A fresh buffer reports zero drops and prints none.
+	sb.Reset()
+	WriteSummary(&sb, NewBuffer(2).Summary())
+	if strings.Contains(sb.String(), "dropped") {
+		t.Fatalf("unwrapped summary mentions drops:\n%s", sb.String())
+	}
+	var nilBuf *Buffer
+	if s := nilBuf.Summary(); s.Total != 0 || s.ByKind == nil {
+		t.Fatalf("nil summary = %+v", s)
+	}
+}
+
 // Property: the ring never loses more than capacity of the most recent
 // events, and Events() is always chronological for monotone input.
 func TestRingProperty(t *testing.T) {

@@ -22,8 +22,12 @@ package metalsvm
 
 import (
 	"metalsvm/internal/core"
+	"metalsvm/internal/metrics"
+	"metalsvm/internal/profile"
 	"metalsvm/internal/racecheck"
+	"metalsvm/internal/sim"
 	"metalsvm/internal/svm"
+	"metalsvm/internal/trace"
 )
 
 // Machine is a booted MetalSVM system: the simulated SCC, one kernel per
@@ -63,9 +67,89 @@ func FirstN(n int) []int { return core.FirstN(n) }
 func SVMConfig(m Model) svm.Config { return svm.DefaultConfig(m) }
 
 // RaceConfig configures the happens-before race checker; pass a pointer
-// through Options.Race to enable it (the zero value selects the defaults).
+// through Instrumentation.Race (or the deprecated Options.Race) to enable
+// it (the zero value selects the defaults).
 type RaceConfig = racecheck.Config
 
-// RaceChecker is the detector attached to Machine.Race when Options.Race
-// is set; inspect it after the run with Races, Dynamic, Clean, or Report.
+// RaceChecker is the detector attached to Machine.Race when race checking
+// is enabled; inspect it after the run with Races, Dynamic, Clean, or
+// Report.
 type RaceChecker = racecheck.Checker
+
+// Instrumentation is the single configuration point for everything that
+// observes a run without perturbing it — event tracing, race checking, the
+// metrics registry, and the cycle-attribution profiler. Pass it through
+// Options.Observe; read the artifacts from Machine.Observability() after
+// the run. Every observer charges no simulated cycles, so an instrumented
+// run is bit-identical to an uninstrumented one.
+type Instrumentation = core.Instrumentation
+
+// Observation carries an instrumented run's artifacts: the metrics
+// snapshot, the profile report, the trace events, and the Perfetto export
+// (WritePerfetto). All accessors are nil-safe.
+type Observation = core.Observation
+
+// ProfileConfig configures the simulated-cycle profiler; pass a pointer
+// through Instrumentation.Profile to enable it (the zero value selects the
+// defaults).
+type ProfileConfig = profile.Config
+
+// ProfileReport is the per-core and aggregate breakdown of where simulated
+// time went; render it with WriteText.
+type ProfileReport = profile.Report
+
+// ProfileBucket is one category of simulated time in a profile report.
+type ProfileBucket = profile.Bucket
+
+// The profiler's time buckets: everything a core does is attributed to
+// exactly one of these.
+const (
+	BucketCompute       = profile.Compute
+	BucketCacheStall    = profile.CacheStall
+	BucketMeshTransit   = profile.MeshTransit
+	BucketMailboxWait   = profile.MailboxWait
+	BucketFaultHandling = profile.FaultHandling
+	BucketBarrierWait   = profile.BarrierWait
+	BucketLockWait      = profile.LockWait
+)
+
+// MetricsSnapshot is the end-of-run registry snapshot (counters, gauges,
+// histograms, sorted by name); render it with WriteText.
+type MetricsSnapshot = metrics.Snapshot
+
+// TraceEvent is one recorded protocol event; TraceKind classifies it.
+type TraceEvent = trace.Event
+
+// TraceKind classifies a trace event (fault, ownership transfer, mail, …).
+type TraceKind = trace.Kind
+
+// The trace event kinds.
+const (
+	TraceFault         = trace.KindFault
+	TraceFirstTouch    = trace.KindFirstTouch
+	TraceOwnerRequest  = trace.KindOwnerRequest
+	TraceOwnerTransfer = trace.KindOwnerTransfer
+	TraceMailSend      = trace.KindMailSend
+	TraceMailRecv      = trace.KindMailRecv
+	TraceBarrier       = trace.KindBarrier
+	TraceMigration     = trace.KindMigration
+	TraceIPI           = trace.KindIPI
+)
+
+// TraceFilter returns the events matching every given predicate; combine
+// with TraceOnCore, TraceOfKind and TraceBetween.
+func TraceFilter(events []TraceEvent, preds ...func(TraceEvent) bool) []TraceEvent {
+	return trace.Filter(events, preds...)
+}
+
+// TraceOnCore filters trace events by core id.
+func TraceOnCore(core int) func(TraceEvent) bool { return trace.OnCore(core) }
+
+// TraceOfKind filters trace events by kind.
+func TraceOfKind(kind TraceKind) func(TraceEvent) bool { return trace.OfKind(kind) }
+
+// TraceBetween filters trace events by time range [lo, hi) in simulated
+// picoseconds.
+func TraceBetween(lo, hi uint64) func(TraceEvent) bool {
+	return trace.Between(sim.Time(lo), sim.Time(hi))
+}
