@@ -1,0 +1,187 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"metalsvm/internal/apps/laplace"
+	"metalsvm/internal/apps/matmul"
+	"metalsvm/internal/bench"
+	"metalsvm/internal/core"
+	"metalsvm/internal/faults"
+	"metalsvm/internal/scc"
+	"metalsvm/internal/svm"
+)
+
+// chaosDumpFile receives the diagnostic dump when a chaos cell fails.
+const chaosDumpFile = "chaos-dump.txt"
+
+// runChaos is the chaos harness: it reruns representative cells of the
+// evaluation under a deterministic fault schedule and verifies that the
+// hardened protocols recover — the measurements complete, the applications
+// compute bit-exact results, the recovery counters show the faults were
+// real, and an identical seed replays bit-identically. On failure it writes
+// the diagnostic dump to chaos-dump.txt and returns a nonzero exit code.
+func runChaos(arg string, rounds, iters int) int {
+	fc, err := faults.ParseConfig(arg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccbench: %v (presets: %s)\n", err, strings.Join(faults.Presets(), ", "))
+		return 2
+	}
+	fmt.Printf("chaos: seed %d, schedule %q\n", fc.Seed, chaosSpecName(arg))
+
+	var dump strings.Builder
+	ok := true
+	fail := func(name, format string, args ...any) {
+		ok = false
+		msg := fmt.Sprintf(format, args...)
+		fmt.Printf("  %-16s FAILED: %s\n", name, msg)
+		fmt.Fprintf(&dump, "=== %s: %s\n", name, msg)
+	}
+	pass := func(name string, us float64, r bench.ChaosResult) {
+		fmt.Printf("  %-16s %10.3f us   ok (%d injected, %d retx, %d renudge, %d corrupt, %d dup, %d rescues)\n",
+			name, us, r.Faults.Injected(), r.Mailbox.Retransmits, r.Mailbox.Renudges,
+			r.Mailbox.CorruptDrops, r.Mailbox.DupFrames, r.Rescues)
+	}
+	// recovered reports whether the run shows recovery activity matching the
+	// schedule: a mail/IPI fault schedule must leave traces in the recovery
+	// counters, otherwise the faults were not actually exercised.
+	mailFaults := fc.Spec.Routes[faults.Mail]
+	wantRecovery := mailFaults.DropPermille > 0 || mailFaults.CorruptPermille > 0
+	recovered := func(r bench.ChaosResult) bool {
+		if !wantRecovery {
+			return true
+		}
+		return r.Mailbox.Retransmits+r.Mailbox.Renudges+r.Mailbox.CorruptDrops+
+			r.Mailbox.DupFrames+r.Rescues > 0
+	}
+	check := func(name string, r bench.ChaosResult) {
+		if !r.Completed {
+			fail(name, "run froze; watchdog report follows")
+			fmt.Fprintln(&dump, r.Watchdog)
+			return
+		}
+		if r.Faults.Injected() == 0 {
+			fail(name, "schedule injected no faults (%d decisions)", r.Faults.Decisions)
+			return
+		}
+		if !recovered(r) {
+			fail(name, "no recovery activity despite %d injected faults", r.Faults.Injected())
+			return
+		}
+		pass(name, r.US, r)
+	}
+
+	// Figure 6 cell (IPI at maximum distance), with a bit-identical replay.
+	r6 := bench.Fig6Chaos(rounds, &fc)
+	check("fig6 ipi", r6)
+	if r6b := bench.Fig6Chaos(rounds, &fc); r6b.US != r6.US || r6b.Faults != r6.Faults {
+		fail("fig6 replay", "same seed diverged: %.6f/%v vs %.6f/%v",
+			r6.US, r6.Faults.Injected(), r6b.US, r6b.Faults.Injected())
+	} else {
+		fmt.Printf("  %-16s %10s      ok (bit-identical)\n", "fig6 replay", "")
+	}
+
+	// Figure 7 cell (polling, 8 activated cores).
+	check("fig7 polling", bench.Fig7Chaos(rounds, 8, &fc))
+
+	// Figure 9 / Laplace under both consistency models: the result must be
+	// the exact reference checksum despite the faults.
+	lp := laplace.Params{Rows: 64, Cols: 32, Iters: iters, TopTemp: 100}
+	if lp.Iters > 50 {
+		lp.Iters = 50 // the chaos sweep needs shape, not the full figure
+	}
+	lcfg := bench.Fig9Config{Params: lp, Chip: chaosChip()}
+	want := laplace.ReferenceChecksum(lp)
+	for _, model := range []svm.Model{svm.Strong, svm.LazyRelease} {
+		name := fmt.Sprintf("laplace %v", model)
+		r, sum := bench.Fig9Chaos(lcfg, model, 4, &fc)
+		if r.Completed && sum != want {
+			fail(name, "checksum %v != reference %v", sum, want)
+			continue
+		}
+		check(name, r)
+	}
+
+	// Laplace determinism: an identical seed must replay bit-identically.
+	rA, sumA := bench.Fig9Chaos(lcfg, svm.Strong, 4, &fc)
+	rB, sumB := bench.Fig9Chaos(lcfg, svm.Strong, 4, &fc)
+	if rA.US != rB.US || sumA != sumB || rA.Faults != rB.Faults {
+		fail("laplace replay", "same seed diverged: %.3f us/%v vs %.3f us/%v",
+			rA.US, sumA, rB.US, sumB)
+	} else {
+		fmt.Printf("  %-16s %10s      ok (bit-identical)\n", "laplace replay", "")
+	}
+
+	// Matmul: a second application with cross-rank reads.
+	mp := matmul.Params{N: 16}
+	mres, msum := chaosMatmul(mp, &fc)
+	if mres.Completed && msum != matmul.ReferenceChecksum(mp) {
+		fail("matmul strong", "checksum %v != reference %v", msum, matmul.ReferenceChecksum(mp))
+	} else {
+		check("matmul strong", mres)
+	}
+
+	if !ok {
+		fmt.Fprintf(&dump, "\nchaos: seed %d schedule %q rounds %d iters %d\n",
+			fc.Seed, chaosSpecName(arg), rounds, iters)
+		if err := os.WriteFile(chaosDumpFile, []byte(dump.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: writing %s: %v\n", chaosDumpFile, err)
+		} else {
+			fmt.Printf("chaos: diagnostic dump written to %s\n", chaosDumpFile)
+		}
+		return 1
+	}
+	fmt.Println("chaos: all cells recovered; application results bit-exact")
+	return 0
+}
+
+// chaosChip is the platform for the chaos application cells: small memories
+// keep the host footprint down, the protocols are untouched.
+func chaosChip() scc.Config {
+	cfg := scc.DefaultConfig()
+	cfg.PrivateMemPerCore = 1 << 20
+	cfg.SharedMem = 16 << 20
+	return cfg
+}
+
+// chaosMatmul runs the matmul workload on a faulty machine.
+func chaosMatmul(p matmul.Params, fc *faults.Config) (bench.ChaosResult, float64) {
+	chip := chaosChip()
+	m, err := core.NewMachine(core.Options{
+		Chip:    &chip,
+		Members: core.FirstN(4),
+		Faults:  fc,
+	})
+	if err != nil {
+		panic(err)
+	}
+	app := matmul.New(p)
+	m.RunAll(func(env *core.Env) { app.Main(env.SVM) })
+	r := bench.ChaosResult{
+		Completed: !m.Cluster.WatchdogFired(),
+		Watchdog:  m.Cluster.WatchdogReport(),
+		Faults:    m.Chip.FaultInjector().Stats(),
+		Mailbox:   m.Cluster.Mailbox().Stats(),
+	}
+	for _, id := range m.Cluster.Members() {
+		if k := m.Cluster.Kernel(id); k != nil {
+			r.Rescues += k.Stats().Rescues
+		}
+	}
+	if !r.Completed {
+		return r, 0
+	}
+	res := app.Result()
+	r.US = res.Elapsed.Microseconds()
+	return r, res.Checksum
+}
+
+// chaosSpecName extracts the schedule name from a seed[,spec] argument.
+func chaosSpecName(arg string) string {
+	if i := strings.IndexByte(arg, ','); i >= 0 {
+		return arg[i+1:]
+	}
+	return "mixed"
+}

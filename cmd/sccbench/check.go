@@ -12,6 +12,7 @@ import (
 	"metalsvm/internal/bench"
 	"metalsvm/internal/bench/runner"
 	"metalsvm/internal/core"
+	"metalsvm/internal/faults"
 	"metalsvm/internal/profile"
 	"metalsvm/internal/racecheck"
 	"metalsvm/internal/svm"
@@ -156,6 +157,11 @@ func checkPerturbation(out io.Writer) bool {
 	p9 := bench.Fig9RunSVM(cfg, svm.Strong, 2)
 	o9, _ := bench.Fig9Observed(cfg, svm.Strong, 2, inst)
 	verdict("fig9", p9, o9)
+
+	// A present-but-disabled fault injector (empty schedule, hardening off)
+	// must also reproduce the plain run bit for bit.
+	f9, _ := bench.Fig9Chaos(cfg, svm.Strong, 2, &faults.Config{Seed: 3, NoHarden: true})
+	verdict("faults", p9, f9.US)
 	return ok
 }
 

@@ -38,6 +38,7 @@ func main() {
 	iters := flag.Int("iters", 50, "Laplace iterations (paper: 5000; per-iteration cost is constant, so crossovers are preserved)")
 	fullLaplace := flag.Bool("full", false, "run the Laplace benchmark with the paper's full 5000 iterations (slow)")
 	check := flag.Bool("check", false, "run the happens-before race checker over every workload and exit non-zero on races")
+	chaos := flag.String("chaos", "", "run the chaos harness with `seed[,spec]`: representative cells under deterministic fault injection (specs: corrupt, delays, drops, light, mixed)")
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = one per host CPU, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
 	benchMode := flag.Bool("bench", false, "measure host wall-clock of the experiments (fast paths and parallel runner on vs off), write BENCH_sim.json, and verify the configurations agree bit-exactly")
@@ -47,6 +48,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sccbench [flags] fig6|fig7|table1|fig9|ablation|all\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -check\n")
+		fmt.Fprintf(os.Stderr, "       sccbench -chaos seed[,spec]\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -bench\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -metrics|-profile|-perfetto out.json fig6|fig7|table1|fig9|all\n")
 		flag.PrintDefaults()
@@ -58,6 +60,9 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if *chaos != "" {
+		os.Exit(runChaos(*chaos, *rounds, *iters))
 	}
 	if *benchMode {
 		os.Exit(runBench(*parallel))

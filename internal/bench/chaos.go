@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"metalsvm/internal/apps/laplace"
+	"metalsvm/internal/core"
+	"metalsvm/internal/faults"
+	"metalsvm/internal/kernel"
+	"metalsvm/internal/mailbox"
+	"metalsvm/internal/mesh"
+	"metalsvm/internal/svm"
+)
+
+// ChaosResult is one harness cell run under a deterministic fault schedule.
+// The latency (or runtime) is only meaningful when Completed is true; when
+// the watchdog stopped a frozen run, Watchdog carries its diagnostic report.
+type ChaosResult struct {
+	// US is the cell's reported time in simulated microseconds (half
+	// round-trip for the mailbox cells, iteration-loop time for Laplace).
+	US float64
+	// Completed reports whether the measurement reached its natural end.
+	Completed bool
+	// Watchdog is the progress watchdog's diagnostic report ("" when it did
+	// not fire).
+	Watchdog string
+	// Faults is the injector's decision and injection record.
+	Faults faults.Stats
+	// Mailbox carries the protocol counters, including the hardened
+	// recovery counters (retransmits, discarded corruptions/duplicates).
+	Mailbox mailbox.Stats
+	// Rescues counts hardened WaitFor parks that found missed mail.
+	Rescues uint64
+}
+
+// chaosResult assembles the post-mortem from a cluster.
+func chaosResult(us float64, completed bool, cl *kernel.Cluster) ChaosResult {
+	r := ChaosResult{
+		US:        us,
+		Completed: completed,
+		Watchdog:  cl.WatchdogReport(),
+		Faults:    cl.Chip().FaultInjector().Stats(),
+		Mailbox:   cl.Mailbox().Stats(),
+	}
+	for _, id := range cl.Members() {
+		if k := cl.Kernel(id); k != nil {
+			r.Rescues += k.Stats().Rescues
+		}
+	}
+	return r
+}
+
+// Fig6Chaos runs Figure 6's representative cell — the IPI ping-pong at the
+// mesh's maximum distance — under a fault schedule.
+func Fig6Chaos(rounds int, fc *faults.Config) ChaosResult {
+	m, err := mesh.New(mesh.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	peer := -1
+	for h := m.MaxHops(); h >= 0 && peer < 0; h-- {
+		peer = m.CoreAtDistance(0, h)
+	}
+	members := []int{0, peer}
+	if members[0] > members[1] {
+		members[0], members[1] = members[1], members[0]
+	}
+	us, done, cl, _ := runPingPongFull(pingPongConfig{
+		mode: mailbox.ModeIPI, a: 0, b: peer, members: members,
+		rounds: rounds, warmup: rounds / 4, faults: fc,
+	}, core.Instrumentation{})
+	return chaosResult(us, done, cl)
+}
+
+// Fig7Chaos runs Figure 7's polling cell at n activated cores under a fault
+// schedule.
+func Fig7Chaos(rounds, n int, fc *faults.Config) ChaosResult {
+	us, done, cl, _ := runPingPongFull(pingPongConfig{
+		mode: mailbox.ModePolling, a: 0, b: 30, members: fig7Members(n),
+		rounds: rounds, warmup: rounds / 4, faults: fc,
+	}, core.Instrumentation{})
+	return chaosResult(us, done, cl)
+}
+
+// Fig9Chaos runs one SVM Laplace cell under a fault schedule and returns
+// the post-mortem together with the application checksum (0 when the run
+// froze and the watchdog stopped it).
+func Fig9Chaos(cfg Fig9Config, model svm.Model, n int, fc *faults.Config) (ChaosResult, float64) {
+	chip := cfg.Chip
+	scfg := svm.DefaultConfig(model)
+	m, err := core.NewMachine(core.Options{
+		Chip:    &chip,
+		SVM:     &scfg,
+		Members: core.FirstN(n),
+		Faults:  fc,
+	})
+	if err != nil {
+		panic(err)
+	}
+	app := laplace.NewSVM(cfg.Params, laplace.SVMOptions{})
+	m.RunAll(func(env *core.Env) { app.Main(env.SVM) })
+	if m.Cluster.WatchdogFired() {
+		return chaosResult(0, false, m.Cluster), 0
+	}
+	res := app.Result()
+	return chaosResult(res.Elapsed.Microseconds(), true, m.Cluster), res.Checksum
+}

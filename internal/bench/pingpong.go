@@ -6,6 +6,7 @@ package bench
 
 import (
 	"metalsvm/internal/core"
+	"metalsvm/internal/faults"
 	"metalsvm/internal/kernel"
 	"metalsvm/internal/mailbox"
 	"metalsvm/internal/scc"
@@ -30,6 +31,9 @@ type pingPongConfig struct {
 	// noise makes the filler cores exchange mail among themselves for the
 	// whole measurement (Figure 7's third curve).
 	noise bool
+	// faults, when non-nil, runs the measurement under deterministic fault
+	// injection (the chaos harness); nil leaves the run untouched.
+	faults *faults.Config
 }
 
 // benchChip returns the default platform with small memories (the mailbox
@@ -52,6 +56,15 @@ func runPingPong(cfg pingPongConfig) float64 {
 // latency is bit-identical to an uninstrumented run (the equivalence tests
 // assert this); the observation is nil when inst requests nothing.
 func runPingPongObserved(cfg pingPongConfig, inst core.Instrumentation) (float64, *core.Observation) {
+	us, _, _, obs := runPingPongFull(cfg, inst)
+	return us, obs
+}
+
+// runPingPongFull is the full harness: it additionally reports whether the
+// measurement completed (a faulty unhardened run can freeze until the
+// watchdog stops it) and exposes the cluster for the chaos harness's
+// post-mortem.
+func runPingPongFull(cfg pingPongConfig, inst core.Instrumentation) (float64, bool, *kernel.Cluster, *core.Observation) {
 	eng := sim.NewEngine()
 	chip, err := scc.New(eng, benchChip())
 	if err != nil {
@@ -59,6 +72,7 @@ func runPingPongObserved(cfg pingPongConfig, inst core.Instrumentation) (float64
 	}
 	kcfg := kernel.DefaultConfig()
 	kcfg.Mode = cfg.mode
+	core.WireFaults(chip, &kcfg, cfg.faults)
 	cl, err := kernel.NewCluster(chip, kcfg, cfg.members)
 	if err != nil {
 		panic(err)
@@ -158,5 +172,5 @@ func runPingPongObserved(cfg pingPongConfig, inst core.Instrumentation) (float64
 	eng.Run()
 	eng.Shutdown()
 	obs.Finish()
-	return elapsed.Microseconds() / float64(2*cfg.rounds), obs
+	return elapsed.Microseconds() / float64(2*cfg.rounds), done, cl, obs
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"metalsvm/internal/cpu"
+	"metalsvm/internal/faults"
 	"metalsvm/internal/kernel"
 	"metalsvm/internal/mailbox"
 	"metalsvm/internal/racecheck"
@@ -47,6 +48,11 @@ type Options struct {
 	// profiling) in one place; read the artifacts from
 	// Machine.Observability() after the run.
 	Observe Instrumentation
+	// Faults, when non-nil, enables deterministic fault injection with the
+	// given seed and schedule, plus (unless Config.NoHarden) the hardened
+	// recovery protocols and the progress watchdog. Nil reproduces plain
+	// runs bit for bit.
+	Faults *faults.Config
 	// Race, when non-nil, enables the happens-before race checker over the
 	// machine's SVM accesses; results are read from Machine.Race after the
 	// run. Checking never changes simulated timestamps.
@@ -54,6 +60,37 @@ type Options struct {
 	// Deprecated: set Observe.Race instead. This field remains as a shim
 	// that populates Observe.Race when that is nil.
 	Race *racecheck.Config
+}
+
+// Default hardening parameters applied by WireFaults when the kernel config
+// leaves them zero: the watchdog samples cluster progress every 2 ms of
+// simulated time and fires after 8 frozen windows; hardened WaitFor parks
+// re-scan their mailboxes every 500 µs.
+const DefaultWatchdogStrikes = 8
+
+var (
+	defaultWatchdogPeriod = sim.Microseconds(2000)
+	defaultRescuePeriod   = sim.Microseconds(500)
+)
+
+// WireFaults installs a fault injector built from fc onto the chip and fills
+// in the kernel config's watchdog and rescue defaults. It must run before
+// kernel.NewCluster (the cluster arms its watchdog at construction). A nil
+// fc is a no-op, preserving the plain machine bit for bit.
+func WireFaults(chip *scc.Chip, kcfg *kernel.Config, fc *faults.Config) {
+	if fc == nil {
+		return
+	}
+	chip.SetFaultInjector(faults.NewInjector(*fc), !fc.NoHarden)
+	if kcfg.WatchdogPeriod == 0 {
+		kcfg.WatchdogPeriod = defaultWatchdogPeriod
+	}
+	if kcfg.WatchdogStrikes == 0 {
+		kcfg.WatchdogStrikes = DefaultWatchdogStrikes
+	}
+	if !fc.NoHarden && kcfg.RescuePeriod == 0 {
+		kcfg.RescuePeriod = defaultRescuePeriod
+	}
 }
 
 // FirstN returns the member list {0, 1, ..., n-1}.
@@ -110,6 +147,7 @@ func NewMachine(opts Options) (*Machine, error) {
 	if opts.Kernel != nil {
 		kcfg = *opts.Kernel
 	}
+	WireFaults(chip, &kcfg, opts.Faults)
 	members := opts.Members
 	if members == nil {
 		members = FirstN(chip.Cores())
@@ -125,6 +163,9 @@ func NewMachine(opts Options) (*Machine, error) {
 	sys, err := svm.New(cl, scfg)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Faults != nil {
+		cl.AddDiagnostic(sys.DumpDiagnostics)
 	}
 	m := &Machine{Engine: eng, Chip: chip, Cluster: cl, SVM: sys}
 	obsCfg := opts.Observe

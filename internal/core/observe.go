@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"metalsvm/internal/cache"
+	"metalsvm/internal/faults"
 	"metalsvm/internal/kernel"
 	"metalsvm/internal/metrics"
 	"metalsvm/internal/perfetto"
@@ -201,6 +202,11 @@ func (o *Observation) harvest() *metrics.Snapshot {
 		r.Counter("mailbox.checks").Add(mbs.Checks)
 		r.Counter("mailbox.recvs").Add(mbs.Recvs)
 		r.Counter("mailbox.ipi_wakeups").Add(mbs.IPIs)
+		r.Counter("mailbox.retransmits").Add(mbs.Retransmits)
+		r.Counter("mailbox.renudges").Add(mbs.Renudges)
+		r.Counter("mailbox.corrupt_drops").Add(mbs.CorruptDrops)
+		r.Counter("mailbox.dup_frames").Add(mbs.DupFrames)
+		r.Counter("mailbox.short_frames").Add(mbs.ShortFrames)
 		for _, id := range cl.Members() {
 			c := o.chip.Core(id)
 			cs := c.Stats()
@@ -226,6 +232,7 @@ func (o *Observation) harvest() *metrics.Snapshot {
 				r.Counter("kernel.ipis").Add(ks.IPIs)
 				r.Counter("kernel.dispatched").Add(ks.Dispatched)
 				r.Counter("kernel.barriers").Add(ks.Barriers)
+				r.Counter("kernel.rescues").Add(ks.Rescues)
 			}
 		}
 	}
@@ -246,6 +253,20 @@ func (o *Observation) harvest() *metrics.Snapshot {
 			r.Counter("svm.locks").Add(ss.Locks)
 			r.Counter("svm.lock_waits").Add(ss.LockWaits)
 			r.Counter("svm.barriers").Add(ss.Barriers)
+			r.Counter("svm.tas_backoffs").Add(ss.TASBackoffs)
+			r.Counter("svm.owner_backoffs").Add(ss.OwnerBackoffs)
+		}
+	}
+	if in := o.chip.FaultInjector(); in.Enabled() {
+		fs := in.Stats()
+		r.Counter("faults.decisions").Add(fs.Decisions)
+		r.Counter("faults.injected").Add(fs.Injected())
+		r.Counter("faults.stalls").Add(fs.Stalls)
+		for rt := faults.Route(0); rt < faults.NumRoutes; rt++ {
+			r.Counter("faults.drops." + rt.String()).Add(fs.Drops[rt])
+			r.Counter("faults.dups." + rt.String()).Add(fs.Dups[rt])
+			r.Counter("faults.delays." + rt.String()).Add(fs.Delays[rt])
+			r.Counter("faults.corruptions." + rt.String()).Add(fs.Corruptions[rt])
 		}
 	}
 	if tr := o.chip.Tracer(); tr != nil {

@@ -1,0 +1,384 @@
+// Package faults implements deterministic, seeded fault injection for the
+// simulated SCC platform. The injector follows the simulator's nil-checked
+// hook discipline: every decision method is safe on a nil *Injector and
+// costs one branch, so a run without fault injection draws no random
+// numbers, charges no simulated time, and stays bit-identical to a plain
+// run.
+//
+// Faults are drawn from a splitmix64 stream seeded by Config.Seed. The
+// simulator executes exactly one process at a time in (time, sequence)
+// order, so the injector's decisions are consumed in a deterministic order:
+// the same seed and the same fault schedule replay bit-identically.
+//
+// Injectable faults, per mesh route:
+//
+//   - DDR:  transaction delay (synchronous reads cannot be meaningfully
+//     dropped — a lost DDR packet is retried by the memory controller, which
+//     degenerates to a delay).
+//   - MPB:  access delay on the message-passing buffers.
+//   - TAS:  lost test-and-set requests (the lock attempt fails) and lost
+//     releases (the register stays set — a stuck lock).
+//   - Mail: dropped, duplicated, delayed or corrupted mailbox deposits.
+//   - IPI:  dropped or delayed inter-processor interrupts through the GIC.
+//
+// Plus transient core stalls charged on synchronous operations.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Route names a fault-injection site in the platform.
+type Route uint8
+
+const (
+	// DDR is the off-die memory path (reads, word and line writes).
+	DDR Route = iota
+	// MPB is the on-die message-passing buffer path.
+	MPB
+	// TAS is the test-and-set register path.
+	TAS
+	// Mail is the mailbox deposit path (a protocol-level route: drops,
+	// duplicates and corruption apply to whole mail frames).
+	Mail
+	// IPI is the interrupt path through the GIC.
+	IPI
+	// NumRoutes bounds the Route enum.
+	NumRoutes
+)
+
+var routeNames = [NumRoutes]string{"ddr", "mpb", "tas", "mail", "ipi"}
+
+func (r Route) String() string {
+	if int(r) < len(routeNames) {
+		return routeNames[r]
+	}
+	return fmt.Sprintf("route(%d)", uint8(r))
+}
+
+// Kind classifies an injected fault (trace Arg2, stats).
+type Kind uint8
+
+const (
+	// Drop: the packet vanished.
+	Drop Kind = iota
+	// Dup: a stale duplicate will be redelivered.
+	Dup
+	// Delay: extra latency on the transaction.
+	Delay
+	// Corrupt: payload bytes were flipped.
+	Corrupt
+	// Stall: a transient core stall.
+	Stall
+	// NumKinds bounds the Kind enum.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{"drop", "dup", "delay", "corrupt", "stall"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// RouteSpec sets the fault probabilities for one route. Probabilities are
+// in permille (1/1000); a zero spec injects nothing.
+type RouteSpec struct {
+	// DropPermille: probability a packet on this route is lost.
+	DropPermille uint32
+	// DupPermille: probability a delivered mail frame is redelivered later
+	// as a stale duplicate (Mail route only).
+	DupPermille uint32
+	// DelayPermille: probability a transaction is delayed by DelayCycles.
+	DelayPermille uint32
+	// DelayCycles: extra core cycles charged when a delay fires.
+	DelayCycles uint64
+	// CorruptPermille: probability a delivered mail frame has a byte
+	// flipped (Mail route only).
+	CorruptPermille uint32
+}
+
+func (rs RouteSpec) enabled() bool {
+	return rs.DropPermille != 0 || rs.DupPermille != 0 ||
+		rs.DelayPermille != 0 || rs.CorruptPermille != 0
+}
+
+// Spec is a complete fault schedule.
+type Spec struct {
+	// Routes holds the per-route fault probabilities, indexed by Route.
+	Routes [NumRoutes]RouteSpec
+	// StallPermille: probability a synchronous operation additionally
+	// stalls the issuing core for StallCycles.
+	StallPermille uint32
+	// StallCycles: length of an injected transient core stall.
+	StallCycles uint64
+}
+
+// Enabled reports whether the spec can inject anything at all.
+func (sp Spec) Enabled() bool {
+	if sp.StallPermille != 0 {
+		return true
+	}
+	for _, rs := range sp.Routes {
+		if rs.enabled() {
+			return true
+		}
+	}
+	return false
+}
+
+// Config seeds and selects a fault schedule. The zero Spec injects nothing
+// (useful to exercise the hardened protocols without faults).
+type Config struct {
+	// Seed selects the deterministic fault stream.
+	Seed uint64
+	// Spec is the fault schedule.
+	Spec Spec
+	// NoHarden disables the protocol hardening (mailbox retransmission,
+	// retry backoff, rescue scans) while keeping injection active — the
+	// configuration that demonstrates why hardening is needed: drops and
+	// stuck locks then hang until the watchdog reports them.
+	NoHarden bool
+}
+
+// Stats counts the injector's decisions. Host-side counters; they charge no
+// simulated time.
+type Stats struct {
+	// Decisions is the number of random draws consumed.
+	Decisions uint64
+	// Per-route injection counts, indexed by Route.
+	Drops       [NumRoutes]uint64
+	Dups        [NumRoutes]uint64
+	Delays      [NumRoutes]uint64
+	Corruptions [NumRoutes]uint64
+	// Stalls counts injected transient core stalls.
+	Stalls uint64
+}
+
+// Injected returns the total number of injected faults of any kind.
+func (s Stats) Injected() uint64 {
+	total := s.Stalls
+	for r := 0; r < int(NumRoutes); r++ {
+		total += s.Drops[r] + s.Dups[r] + s.Delays[r] + s.Corruptions[r]
+	}
+	return total
+}
+
+// Injector draws fault decisions from a seeded deterministic stream. All
+// methods are nil-safe: a nil injector never injects and consumes no
+// randomness.
+type Injector struct {
+	cfg   Config
+	state uint64
+	stats Stats
+}
+
+// NewInjector builds an injector for the configuration.
+func NewInjector(cfg Config) *Injector {
+	return &Injector{cfg: cfg, state: cfg.Seed}
+}
+
+// Config returns the injector's configuration. Nil-safe (zero Config).
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// Enabled reports whether the injector can fire at all. Nil-safe.
+func (in *Injector) Enabled() bool {
+	return in != nil && in.cfg.Spec.Enabled()
+}
+
+// Stats returns a snapshot of the decision counters. Nil-safe.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}
+
+// next advances the splitmix64 stream.
+func (in *Injector) next() uint64 {
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// roll draws one decision with probability permille/1000. A zero
+// probability consumes no randomness, so disabled fault classes perturb
+// nothing — not even the stream position of enabled ones on other sites.
+func (in *Injector) roll(permille uint32) bool {
+	if permille == 0 {
+		return false
+	}
+	in.stats.Decisions++
+	return in.next()%1000 < uint64(permille)
+}
+
+// DelayCycles returns the extra latency (in core cycles) to charge on a
+// transaction over the route, or zero. Nil-safe.
+func (in *Injector) DelayCycles(r Route) uint64 {
+	if in == nil {
+		return 0
+	}
+	rs := &in.cfg.Spec.Routes[r]
+	if !in.roll(rs.DelayPermille) {
+		return 0
+	}
+	in.stats.Delays[r]++
+	return rs.DelayCycles
+}
+
+// Drop reports whether a packet on the route is lost. Nil-safe.
+func (in *Injector) Drop(r Route) bool {
+	if in == nil {
+		return false
+	}
+	if !in.roll(in.cfg.Spec.Routes[r].DropPermille) {
+		return false
+	}
+	in.stats.Drops[r]++
+	return true
+}
+
+// Dup reports whether a delivered frame on the route will be redelivered
+// later as a stale duplicate. Nil-safe.
+func (in *Injector) Dup(r Route) bool {
+	if in == nil {
+		return false
+	}
+	if !in.roll(in.cfg.Spec.Routes[r].DupPermille) {
+		return false
+	}
+	in.stats.Dups[r]++
+	return true
+}
+
+// DupDelayCycles returns the deterministic redelivery delay for a duplicate
+// frame, in core cycles. Nil-safe (zero).
+func (in *Injector) DupDelayCycles() uint64 {
+	if in == nil {
+		return 0
+	}
+	in.stats.Decisions++
+	return 8192 + in.next()%8192
+}
+
+// Corrupt decides whether to corrupt the frame and, if so, flips one
+// deterministic bit in buf. Nil-safe; a nil injector or empty buf never
+// corrupts.
+func (in *Injector) Corrupt(r Route, buf []byte) bool {
+	if in == nil || len(buf) == 0 {
+		return false
+	}
+	if !in.roll(in.cfg.Spec.Routes[r].CorruptPermille) {
+		return false
+	}
+	in.stats.Corruptions[r]++
+	in.stats.Decisions += 2
+	idx := in.next() % uint64(len(buf))
+	bit := in.next() % 8
+	buf[idx] ^= 1 << bit
+	return true
+}
+
+// StallCycles returns the length of an injected transient core stall (in
+// core cycles), or zero. Nil-safe.
+func (in *Injector) StallCycles() uint64 {
+	if in == nil {
+		return 0
+	}
+	if !in.roll(in.cfg.Spec.StallPermille) {
+		return 0
+	}
+	in.stats.Stalls++
+	return in.cfg.Spec.StallCycles
+}
+
+// --- Named presets --------------------------------------------------------
+
+// presets maps schedule names to builders (values are functions so each
+// caller gets a fresh Spec).
+func presetSpecs() map[string]Spec {
+	light := Spec{}
+	light.Routes[Mail] = RouteSpec{DropPermille: 5, DelayPermille: 10, DelayCycles: 2000}
+	light.Routes[IPI] = RouteSpec{DropPermille: 5}
+
+	drops := Spec{}
+	drops.Routes[Mail] = RouteSpec{DropPermille: 30, DupPermille: 5}
+	drops.Routes[IPI] = RouteSpec{DropPermille: 30}
+	drops.Routes[TAS] = RouteSpec{DropPermille: 10}
+
+	corrupt := Spec{}
+	corrupt.Routes[Mail] = RouteSpec{CorruptPermille: 30, DupPermille: 15, DropPermille: 5}
+
+	delays := Spec{}
+	delays.Routes[DDR] = RouteSpec{DelayPermille: 20, DelayCycles: 500}
+	delays.Routes[MPB] = RouteSpec{DelayPermille: 20, DelayCycles: 300}
+	delays.StallPermille = 5
+	delays.StallCycles = 1000
+
+	mixed := Spec{}
+	mixed.Routes[DDR] = RouteSpec{DelayPermille: 5, DelayCycles: 300}
+	mixed.Routes[MPB] = RouteSpec{DelayPermille: 5, DelayCycles: 200}
+	mixed.Routes[TAS] = RouteSpec{DropPermille: 5}
+	mixed.Routes[Mail] = RouteSpec{DropPermille: 15, DupPermille: 10, DelayPermille: 10,
+		DelayCycles: 1500, CorruptPermille: 10}
+	mixed.Routes[IPI] = RouteSpec{DropPermille: 15}
+	mixed.StallPermille = 2
+	mixed.StallCycles = 500
+
+	return map[string]Spec{
+		"light":   light,
+		"drops":   drops,
+		"corrupt": corrupt,
+		"delays":  delays,
+		"mixed":   mixed,
+	}
+}
+
+// PresetSpec returns the named fault schedule. Names: light, drops,
+// corrupt, delays, mixed.
+func PresetSpec(name string) (Spec, bool) {
+	sp, ok := presetSpecs()[name]
+	return sp, ok
+}
+
+// Presets lists the available schedule names, sorted.
+func Presets() []string {
+	specs := presetSpecs()
+	names := make([]string, 0, len(specs))
+	//metalsvm:deterministic — keys are collected, then sorted below
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseConfig parses a "seed[,spec]" chaos argument into a Config. The spec
+// defaults to "mixed".
+func ParseConfig(arg string) (Config, error) {
+	seedStr, specName := arg, "mixed"
+	if i := strings.IndexByte(arg, ','); i >= 0 {
+		seedStr, specName = arg[:i], arg[i+1:]
+	}
+	var seed uint64
+	if _, err := fmt.Sscanf(seedStr, "%d", &seed); err != nil || seedStr == "" {
+		return Config{}, fmt.Errorf("faults: bad seed %q (want seed[,spec])", seedStr)
+	}
+	sp, ok := PresetSpec(specName)
+	if !ok {
+		return Config{}, fmt.Errorf("faults: unknown spec %q (have %s)",
+			specName, strings.Join(Presets(), ", "))
+	}
+	return Config{Seed: seed, Spec: sp}, nil
+}

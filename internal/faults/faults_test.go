@@ -1,0 +1,141 @@
+package faults
+
+import "testing"
+
+// TestNilInjectorSafe: every decision method must be a no-op on nil.
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	if in.Drop(Mail) || in.Dup(Mail) {
+		t.Fatal("nil injector injected")
+	}
+	if in.DelayCycles(DDR) != 0 || in.StallCycles() != 0 || in.DupDelayCycles() != 0 {
+		t.Fatal("nil injector returned nonzero delay")
+	}
+	buf := []byte{1, 2, 3}
+	if in.Corrupt(Mail, buf) {
+		t.Fatal("nil injector corrupted")
+	}
+	if buf[0] != 1 || buf[1] != 2 || buf[2] != 3 {
+		t.Fatal("nil injector modified buffer")
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("nil injector stats nonzero: %+v", s)
+	}
+	if c := in.Config(); c != (Config{}) {
+		t.Fatalf("nil injector config nonzero: %+v", c)
+	}
+}
+
+// TestSeedDeterminism: the same seed and call sequence must replay the same
+// decisions and stats.
+func TestSeedDeterminism(t *testing.T) {
+	spec, ok := PresetSpec("mixed")
+	if !ok {
+		t.Fatal("mixed preset missing")
+	}
+	run := func(seed uint64) ([]bool, Stats) {
+		in := NewInjector(Config{Seed: seed, Spec: spec})
+		var out []bool
+		for i := 0; i < 2000; i++ {
+			out = append(out, in.Drop(Mail), in.Dup(Mail), in.Drop(IPI),
+				in.DelayCycles(DDR) != 0, in.StallCycles() != 0)
+		}
+		return out, in.Stats()
+	}
+	a, sa := run(42)
+	b, sb := run(42)
+	if sa != sb {
+		t.Fatalf("same seed, different stats: %+v vs %+v", sa, sb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	_, sc := run(43)
+	if sa == sc {
+		t.Fatal("different seeds produced identical stats (suspicious)")
+	}
+	if sa.Injected() == 0 {
+		t.Fatal("mixed preset injected nothing over 2000 rounds")
+	}
+}
+
+// TestCorruptFlips: a corruption must flip exactly one bit and be counted.
+func TestCorruptFlips(t *testing.T) {
+	var spec Spec
+	spec.Routes[Mail] = RouteSpec{CorruptPermille: 1000}
+	in := NewInjector(Config{Seed: 7, Spec: spec})
+	buf := make([]byte, 32)
+	if !in.Corrupt(Mail, buf) {
+		t.Fatal("permille=1000 did not corrupt")
+	}
+	flipped := 0
+	for _, b := range buf {
+		for ; b != 0; b &= b - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("corruption flipped %d bits, want 1", flipped)
+	}
+	if in.Stats().Corruptions[Mail] != 1 {
+		t.Fatalf("corruption not counted: %+v", in.Stats())
+	}
+}
+
+// TestZeroProbabilityDrawsNothing: disabled fault classes must not advance
+// the stream, so enabling one class never perturbs another's schedule.
+func TestZeroProbabilityDrawsNothing(t *testing.T) {
+	in := NewInjector(Config{Seed: 9})
+	for i := 0; i < 100; i++ {
+		in.Drop(Mail)
+		in.DelayCycles(DDR)
+		in.StallCycles()
+	}
+	if d := in.Stats().Decisions; d != 0 {
+		t.Fatalf("zero spec consumed %d draws", d)
+	}
+}
+
+// TestPresetsAndParse: preset lookup and the seed[,spec] syntax.
+func TestPresetsAndParse(t *testing.T) {
+	for _, name := range Presets() {
+		sp, ok := PresetSpec(name)
+		if !ok {
+			t.Fatalf("Presets lists %q but PresetSpec misses it", name)
+		}
+		if !sp.Enabled() {
+			t.Fatalf("preset %q injects nothing", name)
+		}
+	}
+	if _, ok := PresetSpec("nope"); ok {
+		t.Fatal("unknown preset resolved")
+	}
+
+	cfg, err := ParseConfig("42")
+	if err != nil || cfg.Seed != 42 {
+		t.Fatalf("ParseConfig(42): %+v, %v", cfg, err)
+	}
+	mixed, _ := PresetSpec("mixed")
+	if cfg.Spec != mixed {
+		t.Fatal("default spec is not mixed")
+	}
+	cfg, err = ParseConfig("7,drops")
+	if err != nil || cfg.Seed != 7 {
+		t.Fatalf("ParseConfig(7,drops): %+v, %v", cfg, err)
+	}
+	drops, _ := PresetSpec("drops")
+	if cfg.Spec != drops {
+		t.Fatal("named spec not honoured")
+	}
+	if _, err := ParseConfig("x"); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+	if _, err := ParseConfig("1,zzz"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

@@ -15,6 +15,8 @@ package kernel
 
 import (
 	"fmt"
+	"io"
+	"strings"
 
 	"metalsvm/internal/cpu"
 	"metalsvm/internal/mailbox"
@@ -40,6 +42,21 @@ type Config struct {
 	// TimerPeriod is the local APIC timer period (kernels check mail on
 	// every tick in polling mode). Zero disables the timer.
 	TimerPeriod sim.Duration
+
+	// WatchdogPeriod is the cluster progress watchdog's sampling window.
+	// The watchdog only runs when the chip has an active fault injector
+	// (core.WireFaults fills the defaults), so plain runs stay untouched:
+	// if cluster-wide progress freezes for WatchdogStrikes consecutive
+	// windows, the watchdog records a diagnostic report and stops the
+	// engine instead of letting the run hang forever. Zero disables it.
+	WatchdogPeriod sim.Duration
+	// WatchdogStrikes is the number of consecutive frozen windows that
+	// trigger the watchdog.
+	WatchdogStrikes int
+	// RescuePeriod bounds how long a hardened kernel may stay parked in
+	// WaitFor without rechecking its slots — the recovery deadline for a
+	// wake-up lost to a dropped IPI. Zero disables rescue deadlines.
+	RescuePeriod sim.Duration
 }
 
 // DefaultConfig returns IPI-driven kernels with a 1 ms timer tick.
@@ -59,6 +76,9 @@ type Stats struct {
 	IPIs       uint64
 	Dispatched uint64
 	Barriers   uint64
+	// Rescues counts mails recovered by a hardened kernel's pre-park or
+	// deadline rescue scan — mail whose IPI was dropped in the mesh.
+	Rescues uint64
 }
 
 // Kernel is one core's kernel instance.
@@ -75,8 +95,9 @@ type Kernel struct {
 	barrierSeen []int
 	barrierUsed []int
 
-	done  bool
-	stats Stats
+	done      bool
+	servicing bool // reentrancy guard for serviceSelf
+	stats     Stats
 
 	// timerLCG drives the deterministic tick jitter (see armTimer).
 	timerLCG uint64
@@ -97,6 +118,13 @@ type Cluster struct {
 	// prof, when set, receives bucket transitions from barrier and wait
 	// paths; it charges no simulated time.
 	prof *profile.Profiler
+
+	// Progress watchdog state (armed only with an active fault injector).
+	diag      []func(io.Writer)
+	wdLast    uint64
+	wdStrikes int
+	wdFired   bool
+	wdReport  string
 }
 
 // SetProfiler installs the cycle-attribution profiler on the cluster and
@@ -125,13 +153,92 @@ func NewCluster(chip *scc.Chip, cfg Config, members []int) (*Cluster, error) {
 			return nil, fmt.Errorf("kernel: member list not sorted")
 		}
 	}
-	return &Cluster{
+	cl := &Cluster{
 		chip:    chip,
 		mb:      mailbox.New(chip, cfg.Mode),
 		cfg:     cfg,
 		members: append([]int(nil), members...),
 		kernels: make(map[int]*Kernel),
-	}, nil
+	}
+	if cfg.WatchdogPeriod > 0 && cfg.WatchdogStrikes > 0 && chip.FaultInjector().Enabled() {
+		cl.armWatchdog()
+	}
+	return cl, nil
+}
+
+// --- Progress watchdog ----------------------------------------------------
+
+// AddDiagnostic registers a dumper whose output joins the watchdog report
+// (the SVM system registers its owner-table and lock dump here).
+func (cl *Cluster) AddDiagnostic(d func(io.Writer)) { cl.diag = append(cl.diag, d) }
+
+// WatchdogFired reports whether the progress watchdog stopped the run.
+func (cl *Cluster) WatchdogFired() bool { return cl.wdFired }
+
+// WatchdogReport returns the diagnostic dump recorded when the watchdog
+// fired (empty otherwise).
+func (cl *Cluster) WatchdogReport() string { return cl.wdReport }
+
+// progress is the watchdog's cluster-wide liveness measure: protocol-level
+// completions only. Core-local time and retransmissions deliberately do not
+// count — a core spinning on a stuck lock or a sender retransmitting into
+// the void advances both forever without the cluster getting anywhere.
+func (cl *Cluster) progress() uint64 {
+	st := cl.mb.Stats()
+	p := st.Sends + st.Recvs + uint64(cl.doneCount)
+	for _, m := range cl.members {
+		if k := cl.kernels[m]; k != nil {
+			p += k.stats.Dispatched + k.stats.Barriers
+		}
+	}
+	return p
+}
+
+func (cl *Cluster) armWatchdog() {
+	cl.chip.Engine().After(cl.cfg.WatchdogPeriod, func() { cl.watchdogTick() })
+}
+
+func (cl *Cluster) watchdogTick() {
+	if cl.wdFired || cl.doneCount == len(cl.members) {
+		return // run finished (or already aborted): let the queue drain
+	}
+	p := cl.progress()
+	if p != cl.wdLast {
+		cl.wdLast = p
+		cl.wdStrikes = 0
+	} else {
+		cl.wdStrikes++
+		if cl.wdStrikes >= cl.cfg.WatchdogStrikes {
+			cl.fireWatchdog(p)
+			return
+		}
+	}
+	cl.armWatchdog()
+}
+
+// fireWatchdog records the diagnostic report and stops the engine: the run
+// ends at the current simulated time instead of hanging the host. The
+// report is kept on the cluster (WatchdogReport), not printed — harnesses
+// and tests decide whether a fired watchdog is a failure.
+func (cl *Cluster) fireWatchdog(p uint64) {
+	cl.wdFired = true
+	eng := cl.chip.Engine()
+	var b strings.Builder
+	fmt.Fprintf(&b, "watchdog: no cluster progress for %d windows of %.0f us (progress=%d, %d/%d kernels done) at %.3f us\n",
+		cl.wdStrikes, cl.cfg.WatchdogPeriod.Microseconds(), p,
+		cl.doneCount, len(cl.members), eng.Now().Microseconds())
+	for _, m := range cl.members {
+		if k := cl.kernels[m]; k != nil {
+			fmt.Fprintf(&b, "  %s\n", k.DebugString())
+		}
+	}
+	cl.mb.DumpInFlight(&b)
+	for _, d := range cl.diag {
+		d(&b)
+	}
+	cl.wdReport = b.String()
+	cl.chip.Tracer().Emit(eng.Now(), -1, trace.KindWatchdog, uint64(cl.wdStrikes), p)
+	eng.Stop()
 }
 
 // Chip returns the platform.
@@ -170,6 +277,7 @@ func (cl *Cluster) Start(id int, main func(*Kernel)) *Kernel {
 	}
 	cl.kernels[id] = k
 	k.RegisterHandler(MsgBarrier, k.handleBarrierMail)
+	cl.mb.SetServiceHook(id, k.serviceSelf)
 	k.core = cl.chip.Boot(id, func(c *cpu.Core) {
 		c.SetIRQHandler(k.handleIRQ)
 		main(k)
@@ -283,6 +391,20 @@ func (k *Kernel) serviceAll() bool {
 	return progress
 }
 
+// serviceSelf is the mailbox's blocked-sender callback: a kernel whose
+// hardened send waits for an acknowledgement drains its own inbox so two
+// kernels replying to each other from their interrupt handlers cannot
+// deadlock. The guard stops the recursion a drained request's reply would
+// otherwise start.
+func (k *Kernel) serviceSelf() bool {
+	if k.servicing {
+		return false
+	}
+	k.servicing = true
+	defer func() { k.servicing = false }()
+	return k.serviceAll()
+}
+
 // serviceFrom checks one specific sender's slot (IPI fast path).
 func (k *Kernel) serviceFrom(from int) bool {
 	if msg, ok := k.cluster.mb.Check(k.id, from); ok {
@@ -318,6 +440,7 @@ func (k *Kernel) WaitFor(cond func() bool) {
 	k.cluster.prof.EnterIfIdle(k.id, profile.MailboxWait, k.core.Proc().LocalTime())
 	defer func() { k.cluster.prof.Exit(k.id, k.core.Proc().LocalTime()) }()
 	sig := k.cluster.mb.WaitAnySignal(k.id)
+	hardened := k.Chip().FaultsHardened()
 	for !cond() {
 		// Capture the deposit eventcount before scanning: the scan parks
 		// at every slot probe, and a mail deposited into an already-probed
@@ -327,6 +450,23 @@ func (k *Kernel) WaitFor(cond func() bool) {
 			if k.serviceAll() {
 				continue
 			}
+		} else if hardened {
+			// Rescue scan: in IPI mode a dropped interrupt leaves a
+			// deposited mail nobody will ever check for. Scan all slots
+			// before parking so the deposit's wake-up (or a retransmission
+			// nudge) always finds its mail.
+			if k.serviceAll() {
+				k.stats.Rescues++
+				continue
+			}
+		}
+		if hardened && k.cluster.cfg.RescuePeriod > 0 {
+			// Park with a deadline: if nothing wakes us within the rescue
+			// period (every notification packet lost), a one-shot engine
+			// event re-fires the signal and the loop rescans. Spurious
+			// wake-ups are absorbed by the cond/seq check.
+			at := k.core.Proc().LocalTime() + k.cluster.cfg.RescuePeriod
+			k.Chip().Engine().At(at, func() { sig.Fire(at) })
 		}
 		sig.WaitSeq(k.core.Proc(), seq)
 	}

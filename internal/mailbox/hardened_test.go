@@ -1,0 +1,296 @@
+package mailbox
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"metalsvm/internal/cpu"
+	"metalsvm/internal/faults"
+	"metalsvm/internal/phys"
+	"metalsvm/internal/scc"
+	"metalsvm/internal/sim"
+)
+
+// hardenedChip builds a chip with a fault injector in hardened mode.
+func hardenedChip(t *testing.T, seed uint64, spec faults.Spec) (*sim.Engine, *scc.Chip) {
+	t.Helper()
+	eng, ch := newChip(t)
+	ch.SetFaultInjector(faults.NewInjector(faults.Config{Seed: seed, Spec: spec}), true)
+	return eng, ch
+}
+
+// TestTruncatedFrameIsError is the regression test for the length check: a
+// frame claiming an impossible payload length must surface as a *FrameError,
+// not a panic or an out-of-bounds read.
+func TestTruncatedFrameIsError(t *testing.T) {
+	eng, ch := newChip(t)
+	mb := New(ch, ModePolling)
+	// Forge a frame in core 0's receive slot for sender 1 whose length field
+	// exceeds the line's capacity (a truncated/garbled deposit).
+	var line [phys.CacheLine]byte
+	line[0] = 1
+	line[1] = 7
+	binary.LittleEndian.PutUint16(line[2:], uint16(PayloadSize+3))
+	ch.MPB().Write(0, slotOff(1), line[:])
+	var msg Msg
+	var ok bool
+	var err error
+	ch.Boot(0, func(c *cpu.Core) {
+		msg, ok, err = mb.Receive(0, 1)
+	})
+	eng.Run()
+	eng.Shutdown()
+	if ok {
+		t.Fatalf("truncated frame consumed as mail: %+v", msg)
+	}
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *FrameError", err)
+	}
+	if fe.Sender != 1 || fe.Receiver != 0 || fe.Len != PayloadSize+3 {
+		t.Fatalf("FrameError = %+v", fe)
+	}
+	if mb.Stats().ShortFrames != 1 {
+		t.Fatalf("ShortFrames = %d", mb.Stats().ShortFrames)
+	}
+}
+
+// TestHardenedTruncatedFrameHeldForRetransmit checks the hardened receiver
+// discards a bad-length frame without advancing its acknowledgement, so the
+// sender's retransmission timer still owns recovery.
+func TestHardenedTruncatedFrameHeldForRetransmit(t *testing.T) {
+	eng, ch := hardenedChip(t, 1, faults.Spec{})
+	mb := New(ch, ModePolling)
+	var line [phys.CacheLine]byte
+	line[0] = 1
+	binary.LittleEndian.PutUint16(line[2:], uint16(HardenedPayloadSize+1))
+	ch.MPB().Write(0, slotOff(1), line[:])
+	var err error
+	ch.Boot(0, func(c *cpu.Core) {
+		_, _, err = mb.Receive(0, 1)
+	})
+	eng.Run()
+	eng.Shutdown()
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *FrameError", err)
+	}
+	if mb.Stats().ShortFrames != 1 {
+		t.Fatalf("ShortFrames = %d", mb.Stats().ShortFrames)
+	}
+	// The slot must be freed (flag clear) but the ack left at 0.
+	var hdr [8]byte
+	ch.MPB().Read(0, slotOff(1), hdr[:])
+	if hdr[0] != 0 || binary.LittleEndian.Uint16(hdr[4:]) != 0 {
+		t.Fatalf("slot header after discard = %v", hdr)
+	}
+}
+
+// TestHardenedFaultFreeRoundTrip exercises the sequence/ack protocol with
+// the injector present but drawing no faults: mails flow in order and the
+// retransmission timers retire without firing.
+func TestHardenedFaultFreeRoundTrip(t *testing.T) {
+	eng, ch := hardenedChip(t, 1, faults.Spec{})
+	mb := New(ch, ModePolling)
+	const rounds = 5
+	var got []byte
+	ch.Boot(0, func(c *cpu.Core) {
+		for i := 0; i < rounds; i++ {
+			p := make([]byte, 8)
+			PutU32(p, 0, uint32(0x100+i))
+			mb.Send(0, 1, byte(i), p)
+		}
+	})
+	ch.Boot(1, func(c *cpu.Core) {
+		for len(got) < rounds {
+			if m, ok := mb.Check(1, 0); ok {
+				if m.U32(0) != uint32(0x100+len(got)) {
+					t.Errorf("payload %d = %#x", len(got), m.U32(0))
+				}
+				got = append(got, m.Type)
+			} else {
+				mb.WaitAnySignal(1).Wait(c.Proc())
+			}
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+	for i, b := range got {
+		if int(b) != i {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	st := mb.Stats()
+	if st.Retransmits != 0 || st.CorruptDrops != 0 || st.DupFrames != 0 {
+		t.Fatalf("fault-free run recovered something: %+v", st)
+	}
+}
+
+// TestHardenedDropsRecovered drops a large fraction of deposits and checks
+// every mail still arrives exactly once, in order, via retransmission.
+func TestHardenedDropsRecovered(t *testing.T) {
+	var spec faults.Spec
+	spec.Routes[faults.Mail].DropPermille = 600
+	eng, ch := hardenedChip(t, 42, spec)
+	mb := New(ch, ModePolling)
+	const rounds = 10
+	var got []byte
+	ch.Boot(0, func(c *cpu.Core) {
+		for i := 0; i < rounds; i++ {
+			mb.Send(0, 1, byte(i), nil)
+		}
+	})
+	ch.Boot(1, func(c *cpu.Core) {
+		for len(got) < rounds {
+			if m, ok := mb.Check(1, 0); ok {
+				got = append(got, m.Type)
+			} else {
+				mb.WaitAnySignal(1).Wait(c.Proc())
+			}
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+	if len(got) != rounds {
+		t.Fatalf("received %d of %d", len(got), rounds)
+	}
+	for i, b := range got {
+		if int(b) != i {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if mb.Stats().Retransmits == 0 {
+		t.Fatal("no retransmissions despite 60% drop rate")
+	}
+}
+
+// TestHardenedCorruptionRecovered flips bits in half the deposits and checks
+// the checksum rejects every corrupted frame while retransmissions deliver
+// clean copies with intact payloads.
+func TestHardenedCorruptionRecovered(t *testing.T) {
+	var spec faults.Spec
+	spec.Routes[faults.Mail].CorruptPermille = 500
+	eng, ch := hardenedChip(t, 7, spec)
+	mb := New(ch, ModePolling)
+	const rounds = 10
+	var got []uint32
+	ch.Boot(0, func(c *cpu.Core) {
+		for i := 0; i < rounds; i++ {
+			p := make([]byte, 4)
+			PutU32(p, 0, uint32(0xabc0+i))
+			mb.Send(0, 1, byte(i), p)
+		}
+	})
+	ch.Boot(1, func(c *cpu.Core) {
+		for len(got) < rounds {
+			if m, ok := mb.Check(1, 0); ok {
+				got = append(got, m.U32(0))
+			} else {
+				mb.WaitAnySignal(1).Wait(c.Proc())
+			}
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+	for i, v := range got {
+		if v != uint32(0xabc0+i) {
+			t.Fatalf("payload %d = %#x (corruption delivered)", i, v)
+		}
+	}
+	st := mb.Stats()
+	if st.CorruptDrops == 0 {
+		t.Fatal("no corrupt frames detected despite 50% corruption rate")
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("corrupt frames were not retransmitted")
+	}
+}
+
+// TestHardenedDuplicatesDiscarded makes every deposit schedule a stale
+// redelivery and checks duplicates are discarded by sequence number.
+func TestHardenedDuplicatesDiscarded(t *testing.T) {
+	var spec faults.Spec
+	spec.Routes[faults.Mail].DupPermille = 1000
+	eng, ch := hardenedChip(t, 3, spec)
+	mb := New(ch, ModePolling)
+	const rounds = 3
+	var got []byte
+	ch.Boot(0, func(c *cpu.Core) {
+		for i := 0; i < rounds; i++ {
+			mb.Send(0, 1, byte(i), nil)
+			// Space the sends out so each ghost lands in a free slot.
+			c.Cycles(100000)
+		}
+	})
+	ch.Boot(1, func(c *cpu.Core) {
+		for len(got) < rounds {
+			if m, ok := mb.Check(1, 0); ok {
+				got = append(got, m.Type)
+			} else {
+				mb.WaitAnySignal(1).Wait(c.Proc())
+			}
+		}
+		// Outlive the last ghost and drain it: it must read as no mail.
+		c.Cycles(200000)
+		if m, ok := mb.Check(1, 0); ok {
+			t.Errorf("stale duplicate consumed: %+v", m)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+	for i, b := range got {
+		if int(b) != i {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if mb.Stats().DupFrames == 0 {
+		t.Fatal("no duplicates discarded despite 100% dup rate")
+	}
+}
+
+// TestHardenedStormDeterministic reruns a faulty mail storm with one seed
+// and checks end time and counters are bit-identical, then checks a second
+// seed actually draws a different schedule.
+func TestHardenedStormDeterministic(t *testing.T) {
+	run := func(seed uint64) (sim.Time, Stats, faults.Stats) {
+		var spec faults.Spec
+		spec.Routes[faults.Mail].DropPermille = 200
+		spec.Routes[faults.Mail].CorruptPermille = 100
+		spec.Routes[faults.Mail].DupPermille = 100
+		eng, ch := hardenedChip(t, seed, spec)
+		mb := New(ch, ModePolling)
+		n := 4
+		for id := 0; id < n; id++ {
+			id := id
+			ch.Boot(id, func(c *cpu.Core) {
+				next := (id + 1) % n
+				prev := (id + n - 1) % n
+				for i := 0; i < 8; i++ {
+					mb.Send(id, next, byte(i), nil)
+					for {
+						if _, ok := mb.Check(id, prev); ok {
+							break
+						}
+						mb.WaitAnySignal(id).Wait(c.Proc())
+					}
+				}
+			})
+		}
+		end := eng.Run()
+		eng.Shutdown()
+		return end, mb.Stats(), ch.FaultInjector().Stats()
+	}
+	endA, mbA, fsA := run(11)
+	endB, mbB, fsB := run(11)
+	if endA != endB || mbA != mbB || fsA != fsB {
+		t.Fatalf("same seed diverged: %d vs %d, %+v vs %+v", endA, endB, mbA, mbB)
+	}
+	if fsA.Injected() == 0 {
+		t.Fatal("schedule injected nothing")
+	}
+	endC, _, fsC := run(12)
+	if endA == endC && fsA == fsC {
+		t.Fatal("different seeds drew identical schedules")
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"metalsvm/internal/cache"
 	"metalsvm/internal/cpu"
+	"metalsvm/internal/faults"
 	"metalsvm/internal/gic"
 	"metalsvm/internal/mesh"
 	"metalsvm/internal/pgtable"
@@ -120,6 +121,14 @@ type Chip struct {
 	// tracer, when set, records protocol events from every layer.
 	tracer *trace.Buffer
 
+	// faults, when set, injects deterministic mesh/IPI/TAS faults into the
+	// synchronous primitives; harden selects the recovery protocols in the
+	// layers above (mailbox retransmission, retry backoff, rescue scans).
+	// Both follow the nil-checked hook discipline: a nil injector draws no
+	// randomness and charges no time.
+	faults *faults.Injector
+	harden bool
+
 	// lastMesh remembers, per core, the mesh-traversal share of the latest
 	// memory-bus transaction the chip served for it (cpu.MeshShareSource).
 	// Safe without locking: only one proc executes at a time per engine, and
@@ -165,6 +174,23 @@ func (ch *Chip) SetTracer(b *trace.Buffer) { ch.tracer = b }
 // Tracer returns the installed event buffer (possibly nil; trace.Buffer
 // methods accept nil receivers).
 func (ch *Chip) Tracer() *trace.Buffer { return ch.tracer }
+
+// SetFaultInjector installs a fault injector; nil disables injection.
+// harden selects the recovery protocols in the mailbox/kernel/SVM layers
+// (ignored when in is nil).
+func (ch *Chip) SetFaultInjector(in *faults.Injector, harden bool) {
+	ch.faults = in
+	ch.harden = in != nil && harden
+}
+
+// FaultInjector returns the installed injector (possibly nil; faults
+// methods accept nil receivers).
+func (ch *Chip) FaultInjector() *faults.Injector { return ch.faults }
+
+// FaultsHardened reports whether the fault-tolerant protocol variants are
+// selected. Always false without an injector, so plain runs keep the plain
+// protocols bit for bit.
+func (ch *Chip) FaultsHardened() bool { return ch.harden }
 
 // New builds a chip for the engine.
 func New(eng *sim.Engine, cfg Config) (*Chip, error) {
@@ -228,6 +254,9 @@ func (ch *Chip) Mem() *phys.Mem { return ch.mem }
 // MPB returns the on-die buffers (tests, diagnostics).
 func (ch *Chip) MPB() *phys.MPB { return ch.mpb }
 
+// TAS returns the test-and-set registers (tests, diagnostics).
+func (ch *Chip) TAS() *phys.TAS { return ch.tas }
+
 // GIC returns the interrupt controller.
 func (ch *Chip) GIC() *gic.Controller { return ch.gic }
 
@@ -281,7 +310,8 @@ func (ch *Chip) ddrReadLatency(core int, paddr uint32) sim.Duration {
 	ch.lastMesh[core] = mesh
 	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles) +
 		mesh +
-		ch.cfg.MemClock.Cycles(ch.cfg.Lat.DDRMemCycles)
+		ch.cfg.MemClock.Cycles(ch.cfg.Lat.DDRMemCycles) +
+		ch.injectDelay(core, faults.DDR)
 }
 
 // ddrWordWriteLatency is an uncombined write-through store: the core stalls
@@ -297,7 +327,8 @@ func (ch *Chip) ddrWordWriteLatency(core int, paddr uint32) sim.Duration {
 	ch.lastMesh[core] = mesh
 	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles) +
 		mesh +
-		ch.cfg.MemClock.Cycles(ch.cfg.Lat.DDRWriteMemCycles)
+		ch.cfg.MemClock.Cycles(ch.cfg.Lat.DDRWriteMemCycles) +
+		ch.injectDelay(core, faults.DDR)
 }
 
 // ddrLineWriteLatency is a combined (whole line or masked line) write —
@@ -311,7 +342,8 @@ func (ch *Chip) ddrLineWriteLatency(core int, paddr uint32) sim.Duration {
 	ch.lastMesh[core] = mesh
 	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles/2) +
 		mesh +
-		ch.cfg.MemClock.Cycles(ch.cfg.Lat.DDRWriteMemCycles)
+		ch.cfg.MemClock.Cycles(ch.cfg.Lat.DDRWriteMemCycles) +
+		ch.injectDelay(core, faults.DDR)
 }
 
 // FetchLine implements cpu.MemoryBus.

@@ -2,6 +2,7 @@ package scc
 
 import (
 	"metalsvm/internal/cpu"
+	"metalsvm/internal/faults"
 	"metalsvm/internal/sim"
 	"metalsvm/internal/trace"
 )
@@ -15,10 +16,27 @@ import (
 
 func (ch *Chip) syncCharge(core int, lat sim.Duration) *cpu.Core {
 	c := ch.cores[core]
+	if cyc := ch.faults.StallCycles(); cyc != 0 {
+		ch.tracer.Emit(c.Now(), core, trace.KindFaultInject,
+			uint64(faults.NumRoutes), uint64(faults.Stall))
+		lat += ch.coreClock().Cycles(cyc)
+	}
 	c.Sync()
 	c.Proc().Advance(lat)
 	c.Sync()
 	return c
+}
+
+// injectDelay draws a fault-injected mesh delay for the route (zero without
+// an injector) and traces the injection.
+func (ch *Chip) injectDelay(core int, r faults.Route) sim.Duration {
+	cyc := ch.faults.DelayCycles(r)
+	if cyc == 0 {
+		return 0
+	}
+	ch.tracer.Emit(ch.cores[core].Now(), core, trace.KindFaultInject,
+		uint64(r), uint64(faults.Delay))
+	return ch.coreClock().Cycles(cyc)
 }
 
 // mpbLatency is an MPB access from core to owner's buffer: fixed core-side
@@ -29,7 +47,15 @@ func (ch *Chip) mpbLatency(core, owner int) sim.Duration {
 	ch.meshStats.MPBAccesses++
 	ch.countHops(hops)
 	return ch.coreClock().Cycles(ch.cfg.Lat.MPBCoreCycles) +
-		ch.mesh.RoundTrip(hops)
+		ch.mesh.RoundTrip(hops) +
+		ch.injectDelay(core, faults.MPB)
+}
+
+// MPBCharge charges core one MPB access to owner's buffer without a
+// functional effect — the cost of a deposit whose packet the fault injector
+// dropped in the mesh.
+func (ch *Chip) MPBCharge(core, owner int) {
+	ch.syncCharge(core, ch.mpbLatency(core, owner))
 }
 
 // MPBRead synchronously reads from owner's MPB on behalf of core.
@@ -77,16 +103,38 @@ func (ch *Chip) tasLatency(core, reg int) sim.Duration {
 }
 
 // TASLock attempts the test-and-set register reg on behalf of core,
-// reporting whether the lock was acquired.
+// reporting whether the lock was acquired. A fault-injected drop loses the
+// request in the mesh: the core pays the round trip but the register is
+// untouched and the attempt reads as contended, so the caller's existing
+// retry loop recovers naturally.
 func (ch *Chip) TASLock(core, reg int) bool {
-	ch.syncCharge(core, ch.tasLatency(core, reg))
+	c := ch.syncCharge(core, ch.tasLatency(core, reg))
+	if ch.faults.Drop(faults.TAS) {
+		ch.tracer.Emit(c.Now(), core, trace.KindFaultInject,
+			uint64(faults.TAS), uint64(faults.Drop))
+		return false
+	}
 	return ch.tas.TestAndSet(reg)
 }
 
-// TASUnlock releases the test-and-set register.
+// TASUnlock releases the test-and-set register. A fault-injected drop loses
+// the clear: unhardened, the register silently stays set (a stuck lock the
+// watchdog will eventually report); hardened, the releaser re-issues the
+// clear until it lands — safe, because the bit never went to zero, so no
+// other core can have acquired the lock in between.
 func (ch *Chip) TASUnlock(core, reg int) {
-	ch.syncCharge(core, ch.tasLatency(core, reg))
-	ch.tas.Clear(reg)
+	for {
+		c := ch.syncCharge(core, ch.tasLatency(core, reg))
+		if !ch.faults.Drop(faults.TAS) {
+			ch.tas.Clear(reg)
+			return
+		}
+		ch.tracer.Emit(c.Now(), core, trace.KindFaultInject,
+			uint64(faults.TAS), uint64(faults.Drop))
+		if !ch.harden {
+			return
+		}
+	}
 }
 
 // uncachedLatency is a synchronous uncached DDR access (the SVM metadata —
@@ -167,6 +215,35 @@ func (ch *Chip) RaiseIPI(from, to int) {
 		ch.mesh.OneWay(ch.gicHops(from))
 	c.Proc().Advance(raise)
 	c.Sync()
+	if ch.faults.Drop(faults.IPI) {
+		// The interrupt packet vanished between the system interface and the
+		// target: the sender already paid the raise and learns nothing.
+		ch.tracer.Emit(c.Now(), from, trace.KindFaultInject,
+			uint64(faults.IPI), uint64(faults.Drop))
+		return
+	}
+	deliver := ch.cfg.Mesh.Clock.Cycles(ch.cfg.Lat.GICCycles) +
+		ch.mesh.OneWay(ch.gicHops(to))
+	if cyc := ch.faults.DelayCycles(faults.IPI); cyc != 0 {
+		ch.tracer.Emit(c.Now(), from, trace.KindFaultInject,
+			uint64(faults.IPI), uint64(faults.Delay))
+		deliver += ch.coreClock().Cycles(cyc)
+	}
+	target := ch.cores[to]
+	ch.eng.After(deliver, func() {
+		ch.gic.Raise(from, to)
+		target.PostInterrupt(cpu.IRQIPI)
+	})
+}
+
+// NudgeIPI re-delivers the interrupt half of an IPI from engine context —
+// the hardened mailbox's retransmission timer uses it to re-notify a
+// receiver whose original interrupt was dropped. It models the kernel's
+// timer-driven recovery path, so it charges no core time and is itself
+// fault-free.
+func (ch *Chip) NudgeIPI(from, to int) {
+	ch.meshStats.IPIs++
+	ch.countHops(ch.gicHops(from) + ch.gicHops(to))
 	deliver := ch.cfg.Mesh.Clock.Cycles(ch.cfg.Lat.GICCycles) +
 		ch.mesh.OneWay(ch.gicHops(to))
 	target := ch.cores[to]

@@ -23,6 +23,11 @@ type Stats struct {
 	Locks         uint64 // SVM lock acquisitions
 	LockWaits     uint64 // times a lock was found taken and the core parked
 	Barriers      uint64 // SVM barriers entered
+	// TASBackoffs and OwnerBackoffs count the hardened protocol's
+	// exponential backoff steps on failed test-and-set attempts and retried
+	// ownership requests (zero in plain runs, where backoff is constant).
+	TASBackoffs   uint64
+	OwnerBackoffs uint64
 }
 
 // Handle is one kernel's view of the SVM system. All methods run on the
@@ -37,6 +42,9 @@ type Handle struct {
 	acks    map[uint32]int  // ownership acks received per page
 	retries map[uint32]int  // retry notices received per page
 	inFault map[uint32]bool // pages this kernel is currently acquiring
+	// ownerRetryRounds drives the hardened exponential backoff per page
+	// while an acquisition keeps being answered with retries.
+	ownerRetryRounds map[uint32]int
 
 	stats          Stats
 	nextTouchStats NextTouchStats
@@ -50,11 +58,12 @@ func (s *System) Attach(k *kernel.Kernel) *Handle {
 		return h
 	}
 	h := &Handle{
-		sys:     s,
-		k:       k,
-		acks:    make(map[uint32]int),
-		retries: make(map[uint32]int),
-		inFault: make(map[uint32]bool),
+		sys:              s,
+		k:                k,
+		acks:             make(map[uint32]int),
+		retries:          make(map[uint32]int),
+		inFault:          make(map[uint32]bool),
+		ownerRetryRounds: make(map[uint32]int),
 	}
 	s.handles[k.ID()] = h
 	k.RegisterHandler(msgOwnerReq, h.handleOwnerReq)
@@ -206,7 +215,10 @@ func (h *Handle) acquireOwnership(idx, page uint32) {
 	s := h.sys
 	me := h.k.ID()
 	h.inFault[idx] = true
-	defer delete(h.inFault, idx)
+	defer func() {
+		delete(h.inFault, idx)
+		delete(h.ownerRetryRounds, idx)
+	}()
 	for {
 		owner := s.readOwner(me, idx)
 		switch owner {
@@ -249,9 +261,21 @@ func (h *Handle) acquireOwnership(idx, page uint32) {
 			return
 		}
 		// Retry: the peer was mid-fault on the same page. Back off and
-		// re-read the owner vector.
+		// re-read the owner vector. Under faults the backoff grows
+		// exponentially so a lost acknowledgement cannot turn into a
+		// request storm against the recovering owner.
 		h.retries[idx]--
-		h.k.Core().Cycles(500)
+		backoff := uint64(500)
+		if h.sys.chip.FaultsHardened() {
+			shift := h.ownerRetryRounds[idx]
+			if shift > 5 {
+				shift = 5
+			}
+			backoff <<= shift
+			h.ownerRetryRounds[idx]++
+			h.stats.OwnerBackoffs++
+		}
+		h.k.Core().Cycles(backoff)
 	}
 }
 
@@ -347,9 +371,7 @@ func (h *Handle) Lock(id int) {
 	h.stats.Locks++
 	s.prof.Enter(me, profile.LockWait, h.k.Core().Proc().LocalTime())
 	for {
-		for !s.chip.TASLock(me, reg) {
-			h.k.Core().Cycles(100)
-		}
+		s.tasSpin(h, reg)
 		free := s.chip.PhysRead32(me, addr) == 0
 		if free {
 			s.chip.PhysWrite32(me, addr, uint32(me)+1)

@@ -30,6 +30,8 @@ package svm
 
 import (
 	"fmt"
+	"io"
+	"sort"
 
 	"metalsvm/internal/kernel"
 	"metalsvm/internal/pgtable"
@@ -353,15 +355,79 @@ func (s *System) scratchWrite(core int, idx, frame uint32) {
 	s.chip.MPBWrite16(core, home, off, uint16(frame))
 }
 
+// tasSpin acquires a test-and-set register for h, retrying with a constant
+// 100-cycle backoff in plain runs — and, under hardened fault injection,
+// an exponential backoff (100 << attempt, capped) so a burst of dropped
+// requests cannot congest the register's mesh path.
+func (s *System) tasSpin(h *Handle, reg int) {
+	attempt := 0
+	for !s.chip.TASLock(h.k.ID(), reg) {
+		backoff := uint64(100)
+		if s.chip.FaultsHardened() {
+			shift := attempt
+			if shift > 5 {
+				shift = 5
+			}
+			backoff <<= shift
+			attempt++
+			h.stats.TASBackoffs++
+		}
+		h.k.Core().Cycles(backoff)
+	}
+}
+
 // scratchLock serializes first-touch racing via the test-and-set register
 // of the page's home core.
 func (s *System) scratchLock(h *Handle, idx uint32) {
-	reg := s.scratchHome(idx)
-	for !s.chip.TASLock(h.k.ID(), reg) {
-		h.k.Core().Cycles(100) // backoff before re-probing
-	}
+	s.tasSpin(h, s.scratchHome(idx))
 }
 
 func (s *System) scratchUnlock(h *Handle, idx uint32) {
 	s.chip.TASUnlock(h.k.ID(), s.scratchHome(idx))
+}
+
+// DumpDiagnostics writes the SVM system's protocol state — per-handle wait
+// state, held test-and-set registers, held lock words, and the owner-vector
+// entries of pages currently being acquired — for the watchdog's report.
+// Functional reads only; charges no simulated time.
+func (s *System) DumpDiagnostics(w io.Writer) {
+	fmt.Fprintf(w, "svm (%v):\n", s.cfg.Model)
+	var inFault []uint32
+	for _, m := range s.cl.Members() {
+		h := s.handles[m]
+		if h == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %s\n", h.DebugString())
+		//metalsvm:deterministic — keys are collected, then sorted below
+		for idx := range h.inFault {
+			inFault = append(inFault, idx)
+		}
+	}
+	tas := s.chip.TAS()
+	held := ""
+	for reg := 0; reg < tas.Count(); reg++ {
+		if tas.IsSet(reg) {
+			held += fmt.Sprintf(" %d", reg)
+		}
+	}
+	if held != "" {
+		fmt.Fprintf(w, "  TAS registers held:%s\n", held)
+	}
+	mem := s.chip.Mem()
+	for id := 0; id < LockCount; id++ {
+		if holder := mem.Read32(s.lockAddr(id)); holder != 0 {
+			fmt.Fprintf(w, "  lock %d held by core %d\n", id, int(holder)-1)
+		}
+	}
+	sort.Slice(inFault, func(i, j int) bool { return inFault[i] < inFault[j] })
+	prev := uint32(0)
+	for i, idx := range inFault {
+		if i > 0 && idx == prev {
+			continue
+		}
+		prev = idx
+		fmt.Fprintf(w, "  page %d owner vector: core %d\n",
+			idx, int(mem.Read32(s.ownerAddr(idx)))-1)
+	}
 }

@@ -41,12 +41,22 @@ const (
 	KindMigration
 	// KindIPI: an inter-processor interrupt was raised (Arg1 = target).
 	KindIPI
+	// KindFaultInject: the fault injector fired (Arg1 = route, Arg2 = kind,
+	// both from internal/faults enums).
+	KindFaultInject
+	// KindRetransmit: the hardened mailbox redeposited or re-nudged a mail
+	// (Arg1 = receiver, Arg2 = sequence number).
+	KindRetransmit
+	// KindWatchdog: the cluster progress watchdog fired (Arg1 = consecutive
+	// frozen windows, Arg2 = progress count at the freeze).
+	KindWatchdog
 	kindCount
 )
 
 var kindNames = [kindCount]string{
 	"fault", "first-touch", "owner-req", "owner-transfer",
 	"mail-send", "mail-recv", "barrier", "migration", "ipi",
+	"fault-inject", "retransmit", "watchdog",
 }
 
 func (k Kind) String() string {

@@ -22,6 +22,7 @@ package metalsvm
 
 import (
 	"metalsvm/internal/core"
+	"metalsvm/internal/faults"
 	"metalsvm/internal/metrics"
 	"metalsvm/internal/profile"
 	"metalsvm/internal/racecheck"
@@ -134,7 +135,34 @@ const (
 	TraceBarrier       = trace.KindBarrier
 	TraceMigration     = trace.KindMigration
 	TraceIPI           = trace.KindIPI
+	TraceFaultInject   = trace.KindFaultInject
+	TraceRetransmit    = trace.KindRetransmit
+	TraceWatchdog      = trace.KindWatchdog
 )
+
+// FaultConfig enables deterministic fault injection; pass a pointer through
+// Options.Faults (nil leaves the run bit-identical to a plain one). The
+// schedule is fully determined by Seed and Spec, so any run replays
+// bit-identically.
+type FaultConfig = faults.Config
+
+// FaultSpec is a fault schedule: per-route rates plus core-stall knobs.
+type FaultSpec = faults.Spec
+
+// FaultRouteSpec holds the per-mille fault rates of one mesh route.
+type FaultRouteSpec = faults.RouteSpec
+
+// FaultStats counts the injector's decisions and injected faults; read it
+// from Machine.Chip.FaultInjector().Stats() after the run.
+type FaultStats = faults.Stats
+
+// FaultPreset returns a named fault schedule (see FaultPresets) and
+// whether the name is known.
+func FaultPreset(name string) (FaultSpec, bool) { return faults.PresetSpec(name) }
+
+// FaultPresets lists the named fault schedules shipped with the chaos
+// harness (sccbench -chaos seed[,spec]).
+func FaultPresets() []string { return faults.Presets() }
 
 // TraceFilter returns the events matching every given predicate; combine
 // with TraceOnCore, TraceOfKind and TraceBetween.
