@@ -103,8 +103,11 @@ type benchReport struct {
 // runBench times each quick experiment in three configurations — fast
 // paths off + serial (the reference), fast paths on + serial, fast paths
 // on + parallel — verifies all three agree bit-exactly, prints a summary,
-// and writes BENCH_sim.json. Returns the process exit code.
-func runBench(workers int) int {
+// and writes BENCH_sim.json. With baseline set, the fresh simulated results
+// are first diffed bit-for-bit against the committed BENCH_sim.json (which
+// is left untouched on mismatch, so the drift stays inspectable). Returns
+// the process exit code.
+func runBench(workers int, baseline bool) int {
 	report := benchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    runner.New(workers).Workers(),
@@ -169,6 +172,14 @@ func runBench(workers int) int {
 		fmt.Println("all configurations bit-identical (fast paths and parallel runner)")
 	}
 
+	if baseline {
+		if err := diffBaseline(report); err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench -bench -baseline: %v\n", err)
+			return 1
+		}
+		fmt.Printf("simulated results match the committed %s bit for bit\n", benchReportFile)
+	}
+
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sccbench -bench: %v\n", err)
@@ -180,4 +191,36 @@ func runBench(workers int) int {
 	}
 	fmt.Printf("wrote %s\n", benchReportFile)
 	return exit
+}
+
+// diffBaseline compares the fresh report's simulated microseconds against
+// the committed BENCH_sim.json. Simulated time is a pure function of the
+// configuration, so the comparison is bit-exact; host wall-clock columns are
+// expected to drift between machines and are ignored.
+func diffBaseline(report benchReport) error {
+	data, err := os.ReadFile(benchReportFile)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", benchReportFile, err)
+	}
+	prev := make(map[string]float64, len(base.Experiments))
+	for _, r := range base.Experiments {
+		prev[r.Experiment] = r.SimulatedUS
+	}
+	for _, r := range report.Experiments {
+		want, ok := prev[r.Experiment]
+		if !ok {
+			return fmt.Errorf("experiment %q missing from baseline %s: regenerate and commit it",
+				r.Experiment, benchReportFile)
+		}
+		if r.SimulatedUS != want {
+			return fmt.Errorf("experiment %q: simulated_us = %v, baseline says %v: "+
+				"the simulation drifted; if intentional, regenerate %s with -bench and commit it",
+				r.Experiment, r.SimulatedUS, want, benchReportFile)
+		}
+	}
+	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"metalsvm/internal/faults"
 	"metalsvm/internal/profile"
 	"metalsvm/internal/racecheck"
+	"metalsvm/internal/sancheck"
 	"metalsvm/internal/svm"
 )
 
@@ -85,7 +86,7 @@ func checkOne(out io.Writer, name string, model svm.Model, members []int, main f
 	m, err := core.NewMachine(core.Options{
 		SVM:     &scfg,
 		Members: members,
-		Race:    &racecheck.Config{},
+		Observe: core.Instrumentation{Race: &racecheck.Config{}},
 	})
 	if err != nil {
 		fmt.Fprintf(out, "racecheck: %s under %v: %v\n", name, model, err)
@@ -120,13 +121,14 @@ func checkDomains(out io.Writer) bool {
 }
 
 // checkPerturbation enforces the observability contract on representative
-// cells of every figure harness: a run with tracing, race checking, metrics
-// and the profiler all enabled must reproduce the uninstrumented result bit
-// for bit.
+// cells of every figure harness: a run with tracing, race checking, the
+// sanitizer suite, metrics and the profiler all enabled must reproduce the
+// uninstrumented result bit for bit.
 func checkPerturbation(out io.Writer) bool {
 	inst := core.Instrumentation{
 		TraceCapacity: 1 << 14,
 		Race:          &racecheck.Config{},
+		Sanitize:      &sancheck.Config{},
 		Metrics:       true,
 		Profile:       &profile.Config{},
 	}

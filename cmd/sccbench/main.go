@@ -38,6 +38,8 @@ func main() {
 	iters := flag.Int("iters", 50, "Laplace iterations (paper: 5000; per-iteration cost is constant, so crossovers are preserved)")
 	fullLaplace := flag.Bool("full", false, "run the Laplace benchmark with the paper's full 5000 iterations (slow)")
 	check := flag.Bool("check", false, "run the happens-before race checker over every workload and exit non-zero on races")
+	sanitize := flag.Bool("sanitize", false, "run the sanitizer suite (shadow memory, locksets, lock-order graph) over every workload and exit non-zero on findings")
+	baseline := flag.Bool("baseline", false, "with -bench: require simulated results to match the committed BENCH_sim.json bit for bit")
 	chaos := flag.String("chaos", "", "run the chaos harness with `seed[,spec]`: representative cells under deterministic fault injection (specs: corrupt, delays, drops, light, mixed)")
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = one per host CPU, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
@@ -48,8 +50,9 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sccbench [flags] fig6|fig7|table1|fig9|ablation|all\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -check\n")
+		fmt.Fprintf(os.Stderr, "       sccbench -sanitize\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -chaos seed[,spec]\n")
-		fmt.Fprintf(os.Stderr, "       sccbench -bench\n")
+		fmt.Fprintf(os.Stderr, "       sccbench -bench [-baseline]\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -metrics|-profile|-perfetto out.json fig6|fig7|table1|fig9|all\n")
 		flag.PrintDefaults()
 	}
@@ -61,11 +64,17 @@ func main() {
 		}
 		return
 	}
+	if *sanitize {
+		if !runSanitize(*parallel) {
+			os.Exit(1)
+		}
+		return
+	}
 	if *chaos != "" {
 		os.Exit(runChaos(*chaos, *rounds, *iters))
 	}
 	if *benchMode {
-		os.Exit(runBench(*parallel))
+		os.Exit(runBench(*parallel, *baseline))
 	}
 	if flag.NArg() != 1 {
 		flag.Usage()

@@ -9,15 +9,26 @@
 //
 // Analyzers:
 //
-//   - simdet: simulation packages must stay deterministic — no time.Now, no
-//     math/rand, no go statements, and no map iteration unless annotated
-//     with a //metalsvm:deterministic directive (the sorted-collect idiom).
+//   - simdet: simulation packages must stay deterministic — no math/rand,
+//     no go statements, and no map iteration unless annotated with a
+//     //metalsvm:deterministic directive (the sorted-collect idiom).
 //     Host-side packages annotated //metalsvm:host-parallel above the
 //     package clause may spawn goroutines and read the host clock; the
 //     annotation is rejected inside core simulation packages.
+//   - simtime: the host clock is banned from engine packages — no time.Now
+//     or time.Since, and no host-timer scheduling (time.Sleep, time.After,
+//     time.NewTimer, …); simulated time comes from the engine alone.
 //   - tracenil: trace emission must flow through the nil-guarded helper —
 //     (*trace.Buffer) methods keep their nil-receiver guard, and no package
 //     fabricates trace.Event values behind Emit's back.
+//   - locksite: the static half of the sanitizer's lock-order analysis —
+//     svm.Handle.Barrier must not be reached while a lock is held, and
+//     constant lock ids must be acquired in a consistent order across each
+//     package.
+//   - obshook: every call through a module-defined *Hook func or interface
+//     type must sit inside an `if <hook> != nil` guard — hooks are optional
+//     observers, and the guard is the zero-perturbation discipline made
+//     visible at the call site.
 package analysis
 
 import (
@@ -60,7 +71,7 @@ type Analyzer struct {
 }
 
 // All returns every analyzer in the suite.
-func All() []*Analyzer { return []*Analyzer{SimDet, TraceNil} }
+func All() []*Analyzer { return []*Analyzer{SimDet, SimTime, TraceNil, LockSite, ObsHook} }
 
 // Directive is the annotation that marks a map iteration as deliberately
 // order-insensitive (e.g. collecting keys for sorting). It must appear as a

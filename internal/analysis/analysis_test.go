@@ -82,11 +82,55 @@ func wantFindings(t *testing.T, msgs []string, substrs ...string) {
 	}
 }
 
-func TestSimDetFlagsHostClock(t *testing.T) {
-	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/kernel", src: `
+func TestSimTimeFlagsHostClock(t *testing.T) {
+	msgs := check(t, SimTime, pkgSrc{path: "metalsvm/internal/kernel", src: `
 package kernel
 import "time"
 func bad() int64 { return time.Now().UnixNano() }
+`})
+	wantFindings(t, msgs, "time.Now")
+}
+
+func TestSimTimeFlagsHostTimers(t *testing.T) {
+	msgs := check(t, SimTime, pkgSrc{path: "metalsvm/internal/svm", src: `
+package svm
+import "time"
+func bad() {
+	time.Sleep(time.Millisecond)
+	<-time.After(time.Second)
+	_ = time.NewTimer(time.Second)
+}
+`})
+	wantFindings(t, msgs, "time.Sleep", "time.After", "time.NewTimer")
+}
+
+func TestSimTimeAllowsDurationArithmetic(t *testing.T) {
+	msgs := check(t, SimTime, pkgSrc{path: "metalsvm/internal/svm", src: `
+package svm
+import "time"
+func ok(d time.Duration) time.Duration { return d * 2 }
+`})
+	wantFindings(t, msgs)
+}
+
+func TestSimTimeHonorsHostParallelAnnotation(t *testing.T) {
+	msgs := check(t, SimTime, pkgSrc{path: "metalsvm/internal/bench/runner", src: `
+//metalsvm:host-parallel
+package runner
+import "time"
+func ok() time.Time { return time.Now() }
+`})
+	wantFindings(t, msgs)
+}
+
+func TestSimTimeIgnoresHostParallelInCorePackages(t *testing.T) {
+	// The annotation is rejected by simdet in core packages; simtime must
+	// not honor it there either.
+	msgs := check(t, SimTime, pkgSrc{path: "metalsvm/internal/svm", src: `
+//metalsvm:host-parallel
+package svm
+import "time"
+func bad() time.Time { return time.Now() }
 `})
 	wantFindings(t, msgs, "time.Now")
 }
@@ -281,6 +325,158 @@ func f() {}
 `})
 		wantFindings(t, msgs, "not allowed in core simulation package")
 	}
+}
+
+// fakeSVM stands in for the real svm package so locksite tests don't depend
+// on the whole tree.
+var fakeSVM = pkgSrc{path: svmPkgPath, src: `
+package svm
+type Handle struct{ n int }
+func (h *Handle) Lock(id int)   { h.n++ }
+func (h *Handle) Unlock(id int) { h.n-- }
+func (h *Handle) Barrier()      {}
+`}
+
+func TestLockSiteFlagsBarrierWhileHeld(t *testing.T) {
+	msgs := check(t, LockSite, fakeSVM, pkgSrc{path: "metalsvm/internal/apps/demo", src: `
+package demo
+import "metalsvm/internal/svm"
+func bad(h *svm.Handle) {
+	h.Lock(3)
+	h.Barrier()
+	h.Unlock(3)
+}
+`})
+	wantFindings(t, msgs, "barrier reached while holding lock 3")
+}
+
+func TestLockSiteFlagsOrderCycle(t *testing.T) {
+	msgs := check(t, LockSite, fakeSVM, pkgSrc{path: "metalsvm/internal/apps/demo", src: `
+package demo
+import "metalsvm/internal/svm"
+func a(h *svm.Handle) {
+	h.Lock(1)
+	h.Lock(2)
+	h.Unlock(2)
+	h.Unlock(1)
+}
+func b(h *svm.Handle) {
+	h.Lock(2)
+	h.Lock(1)
+	h.Unlock(1)
+	h.Unlock(2)
+}
+`})
+	wantFindings(t, msgs, "lock acquisition order cycle")
+}
+
+func TestLockSiteFlagsSelfDeadlock(t *testing.T) {
+	msgs := check(t, LockSite, fakeSVM, pkgSrc{path: "metalsvm/internal/apps/demo", src: `
+package demo
+import "metalsvm/internal/svm"
+func bad(h *svm.Handle) {
+	h.Lock(1)
+	h.Lock(1)
+}
+`})
+	wantFindings(t, msgs, "self-deadlock")
+}
+
+func TestLockSiteCleanOnConsistentOrderAndDynamicIDs(t *testing.T) {
+	msgs := check(t, LockSite, fakeSVM, pkgSrc{path: "metalsvm/internal/apps/demo", src: `
+package demo
+import "metalsvm/internal/svm"
+func a(h *svm.Handle) {
+	h.Lock(1)
+	h.Lock(2)
+	h.Unlock(2)
+	h.Unlock(1)
+	h.Barrier()
+}
+func b(h *svm.Handle, id int) {
+	// Non-constant ids cannot be ordered statically: the dynamic
+	// lock-order graph covers them at run time.
+	h.Lock(id)
+	h.Unlock(id)
+	h.Barrier()
+}
+`})
+	wantFindings(t, msgs)
+}
+
+// fakeHooks stands in for a simulator package defining hook types.
+var fakeHooks = pkgSrc{path: "metalsvm/internal/hooks", src: `
+package hooks
+type MapHook func(v uint32)
+type SyncHook interface{ Locked(core int) }
+type plainFn func(v uint32)
+`}
+
+func TestObsHookFlagsUnguardedCalls(t *testing.T) {
+	msgs := check(t, ObsHook, fakeHooks, pkgSrc{path: "metalsvm/internal/demo", src: `
+package demo
+import "metalsvm/internal/hooks"
+type table struct {
+	mapHook hooks.MapHook
+	sync    hooks.SyncHook
+}
+func (t *table) bad(v uint32) {
+	t.mapHook(v)
+	t.sync.Locked(1)
+}
+`})
+	wantFindings(t, msgs, "t.mapHook is not nil-guarded", "t.sync is not nil-guarded")
+}
+
+func TestObsHookAcceptsGuardedCalls(t *testing.T) {
+	msgs := check(t, ObsHook, fakeHooks, pkgSrc{path: "metalsvm/internal/demo", src: `
+package demo
+import "metalsvm/internal/hooks"
+type table struct {
+	mapHook hooks.MapHook
+	sync    hooks.SyncHook
+}
+func (t *table) ok(v uint32, fresh bool) {
+	if t.mapHook != nil && fresh {
+		t.mapHook(v)
+	}
+	if t.sync != nil {
+		t.sync.Locked(1)
+	}
+	if h := t.mapHook; h != nil {
+		h(v)
+	}
+}
+`})
+	wantFindings(t, msgs)
+}
+
+func TestObsHookGuardDoesNotLeakIntoElseOrAfter(t *testing.T) {
+	msgs := check(t, ObsHook, fakeHooks, pkgSrc{path: "metalsvm/internal/demo", src: `
+package demo
+import "metalsvm/internal/hooks"
+type table struct{ mapHook hooks.MapHook }
+func (t *table) bad(v uint32) {
+	if t.mapHook != nil {
+		_ = v
+	} else {
+		t.mapHook(v)
+	}
+	if t.mapHook != nil {
+		_ = v
+	}
+	t.mapHook(v)
+}
+`})
+	wantFindings(t, msgs, "not nil-guarded", "not nil-guarded")
+}
+
+func TestObsHookIgnoresNonHookTypes(t *testing.T) {
+	msgs := check(t, ObsHook, fakeHooks, pkgSrc{path: "metalsvm/internal/demo", src: `
+package demo
+func run(f func(int)) { f(1) }
+`})
+	wantFindings(t, msgs)
 }
 
 func TestSimDetHostParallelAnnotationMustPrecedePackageClause(t *testing.T) {

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockSite is the static complement of the dynamic lock-order graph in
+// internal/sancheck: it walks every function's body in source order, tracks
+// which constant svm.Handle lock ids are held at each point, records the
+// acquisition-order edges, and reports (a) a kernel barrier reached while a
+// lock is held — every member must arrive, so a contender for the held lock
+// never will — and (b) cycles in the per-package acquisition-order graph,
+// which the dynamic checker would only see on a run that actually exercises
+// both orders. Lock calls with non-constant ids (a task farm hashing its
+// queue index, say) cannot be ordered statically and are skipped, exactly
+// the cases the dynamic graph still covers at run time.
+var LockSite = &Analyzer{
+	Name: "locksite",
+	Doc: "flag svm.Handle.Barrier while holding a lock and statically " +
+		"inconsistent lock acquisition orders",
+	Run: runLockSite,
+}
+
+// svmPkgPath is the package whose Handle methods the analyzer models.
+const svmPkgPath = "metalsvm/internal/svm"
+
+// lockEdge is one observed acquisition order: to was acquired while holding
+// from.
+type lockEdge struct{ from, to int64 }
+
+func runLockSite(p *Pass) error {
+	edges := map[lockEdge]token.Pos{}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			walkLockSites(p, fn.Body, edges)
+		}
+	}
+	reportLockCycles(p, edges)
+	return nil
+}
+
+// walkLockSites tracks held constant lock ids through one function body in
+// source order — a straight-line approximation that visits both branches of
+// every conditional, which over-approximates paths and so errs toward
+// reporting.
+func walkLockSites(p *Pass, body *ast.BlockStmt, edges map[lockEdge]token.Pos) {
+	var held []int64
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := svmHandleMethod(p.Info, call)
+		switch name {
+		case "Lock":
+			id, ok := constIntArg(p.Info, call, 0)
+			if !ok {
+				return true
+			}
+			for _, h := range held {
+				if h == id {
+					p.Reportf(call.Pos(), "svm lock %d acquired while already "+
+						"held in this function: self-deadlock", id)
+					return true
+				}
+				e := lockEdge{from: h, to: id}
+				if _, seen := edges[e]; !seen {
+					edges[e] = call.Pos()
+				}
+			}
+			held = append(held, id)
+		case "Unlock":
+			id, ok := constIntArg(p.Info, call, 0)
+			if !ok {
+				return true
+			}
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i] == id {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		case "Barrier":
+			if len(held) > 0 {
+				p.Reportf(call.Pos(), "svm barrier reached while holding lock %d: "+
+					"a contender for it can never arrive", held[len(held)-1])
+			}
+		}
+		return true
+	})
+}
+
+// svmHandleMethod returns the method name if the call is
+// (*svm.Handle).Lock, Unlock or Barrier ("" otherwise).
+func svmHandleMethod(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != svmPkgPath {
+		return ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Handle" {
+		return ""
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "Barrier":
+		return fn.Name()
+	}
+	return ""
+}
+
+// constIntArg returns argument i's value when it is an integer constant.
+func constIntArg(info *types.Info, call *ast.CallExpr, i int) (int64, bool) {
+	if i >= len(call.Args) {
+		return 0, false
+	}
+	tv, ok := info.Types[call.Args[i]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// reportLockCycles runs cycle detection over the package's acquisition-order
+// graph, in deterministic node order, reporting each cycle at the site of
+// its closing edge.
+func reportLockCycles(p *Pass, edges map[lockEdge]token.Pos) {
+	succs := map[int64][]int64{}
+	nodes := map[int64]bool{}
+	//metalsvm:deterministic — successor lists and node set are sorted below
+	for e := range edges {
+		succs[e.from] = append(succs[e.from], e.to)
+		nodes[e.from], nodes[e.to] = true, true
+	}
+	sorted := make([]int64, 0, len(nodes))
+	//metalsvm:deterministic — collected then sorted
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, s := range succs {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[int64]int{}
+	reported := map[string]bool{}
+	var stack []int64
+	var dfs func(n int64)
+	dfs = func(n int64) {
+		color[n] = grey
+		stack = append(stack, n)
+		for _, nxt := range succs[n] {
+			switch color[nxt] {
+			case white:
+				dfs(nxt)
+			case grey:
+				start := 0
+				for i, s := range stack {
+					if s == nxt {
+						start = i
+						break
+					}
+				}
+				cycle := append(append([]int64{}, stack[start:]...), nxt)
+				key := cycleKey(cycle[:len(cycle)-1])
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				parts := make([]string, len(cycle))
+				for i, c := range cycle {
+					parts[i] = fmt.Sprintf("%d", c)
+				}
+				p.Reportf(edges[lockEdge{from: n, to: nxt}],
+					"svm lock acquisition order cycle: %s (potential deadlock; "+
+						"matches the dynamic lock-order checker's edge direction)",
+					strings.Join(parts, " -> "))
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+	}
+	for _, n := range sorted {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+}
+
+// cycleKey is a canonical (sorted) representation of a cycle's node set.
+func cycleKey(cycle []int64) string {
+	s := append([]int64{}, cycle...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	parts := make([]string, len(s))
+	for i, n := range s {
+		parts[i] = fmt.Sprintf("%d", n)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsHook enforces the zero-perturbation observability discipline at its
+// call sites: every invocation through a module-defined hook type — a named
+// func or interface type whose name ends in "Hook" (cpu.AccessHook,
+// svm.SyncHook, scc.TASHook, …) — must be dominated by an `if <hook> != nil`
+// guard, because hooks are optional observers and an unguarded call is a nil
+// panic on every uninstrumented run. The check is syntactic on purpose: the
+// guard must name the same expression the call goes through (a && chain is
+// fine), in the guarded branch, so the reader can see the discipline at the
+// site. Struct types that merely implement a hook interface are not hook
+// values and are exempt.
+var ObsHook = &Analyzer{
+	Name: "obshook",
+	Doc: "require every call through a module-defined *Hook func or " +
+		"interface type to sit inside an `if <hook> != nil` guard",
+	Run: runObsHook,
+}
+
+func runObsHook(p *Pass) error {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkObsHooks(p, fn.Body, nil)
+		}
+	}
+	return nil
+}
+
+// checkObsHooks walks stmts with the set of hook expressions (rendered with
+// types.ExprString) proven non-nil on the current path. An if statement's
+// `!= nil` conjuncts extend the set for its then-branch only — the else
+// branch and the code after the if are NOT covered by the guard.
+func checkObsHooks(p *Pass, n ast.Node, guarded []string) {
+	if n == nil {
+		return
+	}
+	if ifs, ok := n.(*ast.IfStmt); ok {
+		if ifs.Init != nil {
+			checkObsHooks(p, ifs.Init, guarded)
+		}
+		checkObsHooks(p, ifs.Cond, guarded)
+		checkObsHooks(p, ifs.Body, append(guarded, nilGuards(ifs.Cond)...))
+		checkObsHooks(p, ifs.Else, guarded)
+		return
+	}
+	if call, ok := n.(*ast.CallExpr); ok {
+		if hook := hookExpr(p.Info, call); hook != "" && !contains(guarded, hook) {
+			p.Reportf(call.Pos(), "call through hook %s is not nil-guarded; "+
+				"wrap it in `if %s != nil { … }` (hooks are optional observers)",
+				hook, hook)
+		}
+	}
+	// Recurse into children, preserving the guard set. The IfStmt case above
+	// intercepts branching; everything else propagates linearly.
+	for _, c := range childNodes(n) {
+		checkObsHooks(p, c, guarded)
+	}
+}
+
+// childNodes returns n's immediate children (one ast.Inspect level). Only
+// the root callback returns true, so the walk never descends past depth one
+// and every direct child is collected exactly once.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	root := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return true
+		}
+		if root {
+			root = false
+			return true
+		}
+		out = append(out, c)
+		return false
+	})
+	return out
+}
+
+// nilGuards extracts the hook expressions proven non-nil by cond: every
+// `X != nil` (or `nil != X`) conjunct of a && chain.
+func nilGuards(cond ast.Expr) []string {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch bin.Op.String() {
+	case "&&":
+		return append(nilGuards(bin.X), nilGuards(bin.Y)...)
+	case "!=":
+		if isNilIdent(bin.Y) {
+			return []string{types.ExprString(bin.X)}
+		}
+		if isNilIdent(bin.X) {
+			return []string{types.ExprString(bin.Y)}
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// hookExpr returns the rendered hook expression if the call goes through a
+// module-defined *Hook-suffixed named func or interface type: either the
+// callee itself is a value of such a func type, or the callee is a method
+// selected from a value of such an interface type. Returns "" otherwise.
+func hookExpr(info *types.Info, call *ast.CallExpr) string {
+	// Method call on a hook interface: h.inner.LockAcquired(…).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if t := info.TypeOf(sel.X); isHookType(t, true) {
+			return types.ExprString(sel.X)
+		}
+	}
+	// Direct call of a hook-typed func value: t.mapHook(…).
+	if t := info.TypeOf(call.Fun); isHookType(t, false) {
+		return types.ExprString(call.Fun)
+	}
+	return ""
+}
+
+// isHookType reports whether t is a named type from this module whose name
+// ends in "Hook" and whose underlying type is an interface (wantIface) or a
+// func signature.
+func isHookType(t types.Type, wantIface bool) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasPrefix(obj.Pkg().Path(), "metalsvm/") {
+		return false
+	}
+	if !strings.HasSuffix(obj.Name(), "Hook") {
+		return false
+	}
+	if wantIface {
+		_, ok := named.Underlying().(*types.Interface)
+		return ok
+	}
+	_, ok = named.Underlying().(*types.Signature)
+	return ok
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -9,8 +9,9 @@ import (
 )
 
 // SimDet enforces the simulator's determinism contract: a run is a pure
-// function of its configuration, so simulation code must not read host time,
-// host randomness, or host scheduling. Map iteration order is the classic
+// function of its configuration, so simulation code must not use host
+// randomness or host scheduling (the host clock is simtime's beat). Map
+// iteration order is the classic
 // silent killer — Go randomizes it per run — so every `range` over a map is
 // flagged unless annotated with //metalsvm:deterministic (the collect-keys-
 // then-sort idiom). `go` statements are reserved for internal/sim, whose
@@ -21,8 +22,8 @@ import (
 // itself an error inside core simulation packages).
 var SimDet = &Analyzer{
 	Name: "simdet",
-	Doc: "forbid time.Now, math/rand, go statements and unannotated map " +
-		"iteration in simulation packages",
+	Doc: "forbid math/rand, go statements and unannotated map iteration " +
+		"in simulation packages",
 	Run: runSimDet,
 }
 
@@ -119,14 +120,6 @@ func runSimDet(p *Pass) error {
 				p.Reportf(n.Pos(), "go statement outside internal/sim: host "+
 					"scheduling is nondeterministic; use sim.Engine processes "+
 					"(or annotate a host-side package with //%s)", HostParallelDirective)
-			case *ast.CallExpr:
-				if name := timeFuncName(p.Info, n); name != "" {
-					if hostParallel {
-						return true
-					}
-					p.Reportf(n.Pos(), "%s reads the host clock; simulated "+
-						"time must come from the engine", name)
-				}
 			case *ast.RangeStmt:
 				t := p.Info.TypeOf(n.X)
 				if t == nil {
@@ -146,22 +139,4 @@ func runSimDet(p *Pass) error {
 		})
 	}
 	return nil
-}
-
-// timeFuncName returns the qualified name if the call is a host-clock read
-// from package time ("" otherwise).
-func timeFuncName(info *types.Info, call *ast.CallExpr) string {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return ""
-	}
-	fn, ok := info.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
-		return ""
-	}
-	switch fn.Name() {
-	case "Now", "Since", "Until":
-		return "time." + fn.Name()
-	}
-	return ""
 }

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SimTime bans the host clock from engine packages. Simulated time is a pure
+// function of the configuration — sim.Time advances only through the engine —
+// so any read of the wall clock (time.Now, time.Since, …) or host-timer
+// scheduling (time.Sleep, time.After, time.NewTimer, …) inside simulation
+// code either leaks nondeterminism into results or stalls the simulated
+// world on real time. Host-side packages annotated //metalsvm:host-parallel
+// (the experiment runner) are allowed to measure wall time; the annotation
+// itself is policed by simdet.
+var SimTime = &Analyzer{
+	Name: "simtime",
+	Doc: "forbid wall-clock reads and host-timer scheduling (time.Now, " +
+		"time.Sleep, time.After, …) in simulation packages",
+	Run: runSimTime,
+}
+
+// hostClockFuncs are the package-time functions that read or schedule on the
+// host clock. Constructors (NewTimer, NewTicker) count: holding a host timer
+// is already a dependence on host time.
+var hostClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runSimTime(p *Pass) error {
+	if simDetExempt[p.Pkg.Path()] {
+		return nil
+	}
+	if pos := hostParallelPos(p.Files); pos != token.NoPos &&
+		!hostParallelDeniedPath(p.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := hostClockFuncName(p.Info, call); name != "" {
+				p.Reportf(call.Pos(), "%s reads or schedules on the host clock; "+
+					"simulated time must come from the engine (sim.Time, "+
+					"sim.Engine.After)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hostClockFuncName returns the qualified name if the call is a host-clock
+// read or host-timer operation from package time ("" otherwise).
+func hostClockFuncName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return ""
+	}
+	if hostClockFuncs[fn.Name()] {
+		return "time." + fn.Name()
+	}
+	return ""
+}

@@ -123,3 +123,47 @@ func TestWatchdogFiresOnStuckCluster(t *testing.T) {
 		t.Fatalf("diagnostic report incomplete:\n%s", rep)
 	}
 }
+
+// TestWatchdogDumpSections wedges core 1 inside a strong-model ownership
+// acquisition (the owner-request mail chain loses a frame with hardening
+// off) and checks the watchdog report carries every diagnostic layer: the
+// per-kernel state lines, the mailbox in-flight dump, and the SVM section
+// down to the owner-vector entry of the page being acquired. The seed is
+// chosen so the collective-alloc barrier survives the drops but the
+// ownership transfer does not.
+func TestWatchdogDumpSections(t *testing.T) {
+	var spec faults.Spec
+	spec.Routes[faults.Mail].DropPermille = 400
+	m, err := NewMachine(Options{Chip: smallChip(), Members: []int{0, 1},
+		Faults: &faults.Config{Seed: 1, Spec: spec, NoHarden: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunAll(func(env *Env) {
+		base := env.SVM.Alloc(4096)
+		if env.K.ID() == 0 {
+			env.Core().Store64(base, 1) // first touch: core 0 owns the page
+		}
+		env.Core().Cycles(100000) // let the owner settle before core 1 faults
+		if env.K.ID() == 1 {
+			env.Core().Store64(base, 2) // must acquire from core 0 over mail
+		}
+		env.K.Barrier()
+	})
+	if !m.Cluster.WatchdogFired() {
+		t.Fatal("watchdog did not fire on the wedged acquisition")
+	}
+	rep := m.Cluster.WatchdogReport()
+	for _, want := range []string{
+		"watchdog: no cluster progress",
+		"kernel 0:", "kernel 1:", // per-kernel state
+		"mailbox:",     // in-flight mail dump
+		"svm (",        // SVM diagnostic section
+		"inFault",      // the stuck handle's wait state
+		"owner vector", // the contested page's owner entry
+	} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("watchdog report missing %q:\n%s", want, rep)
+		}
+	}
+}

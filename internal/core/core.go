@@ -53,13 +53,6 @@ type Options struct {
 	// recovery protocols and the progress watchdog. Nil reproduces plain
 	// runs bit for bit.
 	Faults *faults.Config
-	// Race, when non-nil, enables the happens-before race checker over the
-	// machine's SVM accesses; results are read from Machine.Race after the
-	// run. Checking never changes simulated timestamps.
-	//
-	// Deprecated: set Observe.Race instead. This field remains as a shim
-	// that populates Observe.Race when that is nil.
-	Race *racecheck.Config
 }
 
 // Default hardening parameters applied by WireFaults when the kernel config
@@ -120,7 +113,7 @@ type Machine struct {
 	Cluster *kernel.Cluster
 	SVM     *svm.System
 	// Race is the happens-before checker, non-nil when race checking was
-	// enabled (via Options.Observe.Race or the deprecated Options.Race).
+	// enabled via Options.Observe.Race.
 	Race *racecheck.Checker
 
 	obs     *Observation
@@ -168,11 +161,7 @@ func NewMachine(opts Options) (*Machine, error) {
 		cl.AddDiagnostic(sys.DumpDiagnostics)
 	}
 	m := &Machine{Engine: eng, Chip: chip, Cluster: cl, SVM: sys}
-	obsCfg := opts.Observe
-	if obsCfg.Race == nil {
-		obsCfg.Race = opts.Race // deprecated shim
-	}
-	m.obs = Observe(obsCfg, chip, []*kernel.Cluster{cl}, []*svm.System{sys})
+	m.obs = Observe(opts.Observe, chip, []*kernel.Cluster{cl}, []*svm.System{sys})
 	m.Race = m.obs.Race()
 	return m, nil
 }

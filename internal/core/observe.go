@@ -11,6 +11,7 @@ import (
 	"metalsvm/internal/perfetto"
 	"metalsvm/internal/profile"
 	"metalsvm/internal/racecheck"
+	"metalsvm/internal/sancheck"
 	"metalsvm/internal/scc"
 	"metalsvm/internal/svm"
 	"metalsvm/internal/trace"
@@ -32,6 +33,10 @@ type Instrumentation struct {
 	TraceCapacity int
 	// Race, when non-nil, enables the happens-before race checker.
 	Race *racecheck.Config
+	// Sanitize, when non-nil, enables the sanitizer suite: the SVM shadow-
+	// memory checker, the Eraser-style lockset checker and the lock-order
+	// graph. The zero Config enables every class.
+	Sanitize *sancheck.Config
 	// Metrics enables the end-of-run metrics snapshot harvested from every
 	// subsystem's counters.
 	Metrics bool
@@ -42,7 +47,8 @@ type Instrumentation struct {
 
 // enabled reports whether any observer is requested.
 func (i Instrumentation) enabled() bool {
-	return i.TraceCapacity > 0 || i.Race != nil || i.Metrics || i.Profile != nil
+	return i.TraceCapacity > 0 || i.Race != nil || i.Sanitize != nil ||
+		i.Metrics || i.Profile != nil
 }
 
 // Observation carries a run's instrumentation state and, after Finish, its
@@ -54,6 +60,7 @@ type Observation struct {
 	systems  []*svm.System
 
 	race    *racecheck.Checker
+	san     *sancheck.Checker
 	prof    *profile.Profiler
 	metrics bool
 
@@ -77,6 +84,11 @@ func Observe(cfg Instrumentation, chip *scc.Chip,
 	}
 	if cfg.Race != nil {
 		o.race = wireRaceChecker(*cfg.Race, chip, clusters, systems)
+	}
+	if cfg.Sanitize != nil {
+		// Wired after the race checker on purpose: the sanitizer's adapters
+		// take over the single-slot cpu and svm hooks and forward to it.
+		o.san = wireSanChecker(*cfg.Sanitize, chip, clusters, systems, o.race)
 	}
 	if cfg.Profile != nil {
 		o.prof = profile.New(chip.Cores(), *cfg.Profile)
@@ -110,6 +122,9 @@ func (o *Observation) Finish() {
 	if o.prof != nil {
 		o.report = o.prof.Report()
 	}
+	if o.san != nil {
+		o.san.Finalize()
+	}
 	if o.metrics {
 		o.snapshot = o.harvest()
 	}
@@ -121,6 +136,14 @@ func (o *Observation) Race() *racecheck.Checker {
 		return nil
 	}
 	return o.race
+}
+
+// San returns the sanitizer checker (nil when not enabled).
+func (o *Observation) San() *sancheck.Checker {
+	if o == nil {
+		return nil
+	}
+	return o.san
 }
 
 // Profiler returns the live profiler (nil when not enabled); most callers

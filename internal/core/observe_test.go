@@ -132,22 +132,22 @@ func TestPerfettoExportFromMachine(t *testing.T) {
 	}
 }
 
-// TestDeprecatedRaceShim: the legacy Options.Race field still wires the
-// checker, through the new observation.
-func TestDeprecatedRaceShim(t *testing.T) {
+// TestRaceWiresThroughObservation: Observe.Race wires the checker and the
+// Machine.Race convenience field points at the same instance.
+func TestRaceWiresThroughObservation(t *testing.T) {
 	scfg := svm.DefaultConfig(svm.Strong)
 	m, err := NewMachine(Options{
 		Chip: smallChip(), SVM: &scfg, Members: []int{0, 1},
-		Race: &racecheck.Config{},
+		Observe: Instrumentation{Race: &racecheck.Config{}},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.Race == nil {
-		t.Fatal("deprecated Options.Race no longer wires the checker")
+		t.Fatal("Observe.Race did not wire the checker")
 	}
 	if m.Observability() == nil || m.Observability().Race() != m.Race {
-		t.Fatal("shim bypassed the observation")
+		t.Fatal("Machine.Race does not match the observation's checker")
 	}
 }
 

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"metalsvm/internal/cpu"
+	"metalsvm/internal/kernel"
+	"metalsvm/internal/racecheck"
+	"metalsvm/internal/sancheck"
+	"metalsvm/internal/scc"
+	"metalsvm/internal/sim"
+	"metalsvm/internal/svm"
+)
+
+// This file wires the sancheck sanitizer into a booted system. It follows
+// racewire.go's shape, with one twist: the cpu access hook and the svm sync
+// hook are single-slot, and the race checker may already occupy them. The
+// adapters below therefore multiplex — each forwards to the race checker's
+// edge (when enabled) before feeding the sanitizer — so both observers see
+// every event and neither perturbs the run.
+
+// sanSVMHook feeds one SVM system's lock and ownership events to the
+// sanitizer, forwarding to an inner (race) hook first. space is the system's
+// index in the wired set, so lock tokens from different coherency domains
+// never alias.
+type sanSVMHook struct {
+	k     *sancheck.Checker
+	inner svm.SyncHook
+	chip  *scc.Chip
+	space int
+}
+
+// lockID normalizes a lock id to its physical lock word, matching
+// raceSVMHook.lockKey: distinct ids that hash to the same test-and-set
+// backed word really are the same lock.
+func lockID(id int) int {
+	return ((id % svm.LockCount) + svm.LockCount) % svm.LockCount
+}
+
+func (h sanSVMHook) LockAcquired(core, lock int) {
+	if h.inner != nil {
+		h.inner.LockAcquired(core, lock)
+	}
+	h.k.OnLockAcquire(h.space, lockID(lock), core, h.chip.Core(core).Now())
+}
+
+func (h sanSVMHook) LockReleased(core, lock int) {
+	if h.inner != nil {
+		h.inner.LockReleased(core, lock)
+	}
+	h.k.OnLockRelease(h.space, lockID(lock), core, h.chip.Core(core).Now())
+}
+
+func (h sanSVMHook) OwnershipTransferred(owner, requester int, page uint32) {
+	if h.inner != nil {
+		h.inner.OwnershipTransferred(owner, requester, page)
+	}
+}
+
+func (h sanSVMHook) OwnershipAcquired(core int, page uint32) {
+	if h.inner != nil {
+		h.inner.OwnershipAcquired(core, page)
+	}
+	h.k.OnOwnershipAcquired(h.space, core, page)
+}
+
+// sanMemHook feeds one SVM system's region-lifecycle events (and the
+// pre-panic invalid-operation callbacks) to the shadow checker.
+type sanMemHook struct {
+	k    *sancheck.Checker
+	chip *scc.Chip
+}
+
+func (h sanMemHook) RegionAllocated(core int, base, pages uint32) {
+	h.k.OnRegionAlloc(core, base, pages)
+}
+
+func (h sanMemHook) RegionFreed(core int, base, pages uint32) {
+	h.k.OnRegionFree(core, base, pages, h.chip.Core(core).Now())
+}
+
+func (h sanMemHook) RegionProtected(core int, base, pages uint32) {
+	h.k.OnRegionProtect(core, base, pages)
+}
+
+func (h sanMemHook) BadFree(core int, base uint32) {
+	h.k.OnBadFree(core, base, h.chip.Core(core).Now())
+}
+
+func (h sanMemHook) InvalidAccess(core int, vaddr uint32, write bool) {
+	h.k.OnInvalidAccess(core, vaddr, write, h.chip.Core(core).Now())
+}
+
+func (h sanMemHook) ReadOnlyWrite(core int, vaddr uint32) {
+	h.k.OnReadOnlyWrite(core, vaddr, h.chip.Core(core).Now())
+}
+
+// sanTASHook feeds test-and-set transitions to the lock-order graph.
+type sanTASHook struct{ k *sancheck.Checker }
+
+func (h sanTASHook) TASAcquired(core, reg int, at sim.Time) { h.k.OnTASAcquire(core, reg, at) }
+func (h sanTASHook) TASReleased(core, reg int, at sim.Time) { h.k.OnTASRelease(core, reg, at) }
+
+// wireSanChecker creates a sanitizer over the chip and attaches it to every
+// given cluster (barrier epochs), member core (access recording and
+// page-table map/unmap auditing) and SVM system (region lifecycle, locks,
+// ownership epochs). When race is non-nil the race checker already holds the
+// single-slot cpu and svm hooks; the installed adapters forward to it first,
+// so enabling both changes nothing about what either sees.
+func wireSanChecker(cfg sancheck.Config, chip *scc.Chip,
+	clusters []*kernel.Cluster, systems []*svm.System,
+	race *racecheck.Checker) *sancheck.Checker {
+	k := sancheck.NewChecker(chip.Cores(), scc.VirtSharedBase, cfg)
+	for _, cl := range clusters {
+		cl.SetBarrierHook(k.OnBarrier)
+		for _, id := range cl.Members() {
+			id := id
+			chip.Core(id).SetAccessHook(func(c *cpu.Core, vaddr uint32, size int, write bool) {
+				if race != nil {
+					race.OnAccess(c.ID(), vaddr, size, write, c.Now())
+				}
+				k.OnAccess(c.ID(), vaddr, size, write, c.Now())
+			})
+			chip.Core(id).Table.SetMapHook(func(vaddr uint32, mapped bool) {
+				k.OnMap(id, vaddr, mapped)
+			})
+		}
+	}
+	for i, sys := range systems {
+		var inner svm.SyncHook
+		if race != nil {
+			inner = raceSVMHook{race, sys}
+		}
+		sys.SetSyncHook(sanSVMHook{k: k, inner: inner, chip: chip, space: i})
+		sys.SetMemHook(sanMemHook{k: k, chip: chip})
+	}
+	chip.SetTASHook(sanTASHook{k})
+	return k
+}

@@ -119,6 +119,10 @@ type Cluster struct {
 	// paths; it charges no simulated time.
 	prof *profile.Profiler
 
+	// barrierHook, when set, observes barrier completions per core (the
+	// sanitizer's epoch resets). Charges no simulated time.
+	barrierHook BarrierHook
+
 	// Progress watchdog state (armed only with an active fault injector).
 	diag      []func(io.Writer)
 	wdLast    uint64
@@ -126,6 +130,14 @@ type Cluster struct {
 	wdFired   bool
 	wdReport  string
 }
+
+// BarrierHook observes one core completing a dissemination barrier. It runs
+// on that core's goroutine and must not charge simulated time; a nil hook
+// costs one branch per barrier.
+type BarrierHook func(core int, at sim.Time)
+
+// SetBarrierHook installs the barrier observer; nil disables it.
+func (cl *Cluster) SetBarrierHook(h BarrierHook) { cl.barrierHook = h }
 
 // SetProfiler installs the cycle-attribution profiler on the cluster and
 // its mailbox layer; nil disables it.
@@ -486,6 +498,9 @@ func (k *Kernel) Barrier() {
 		k.Send(to, MsgBarrier, nil)
 		k.WaitFor(func() bool { return k.barrierSeen[from] > k.barrierUsed[from] })
 		k.barrierUsed[from]++
+	}
+	if h := k.cluster.barrierHook; h != nil {
+		h(k.id, k.core.Now())
 	}
 	k.cluster.prof.Exit(k.id, k.core.Proc().LocalTime())
 }

@@ -20,6 +20,20 @@ func hardenedChip(t *testing.T, seed uint64, spec faults.Spec) (*sim.Engine, *sc
 	return eng, ch
 }
 
+// TestFrameErrorFormat pins the diagnostic string: harness logs grep for
+// the "from <sender> to <receiver>" order, so it is part of the contract.
+func TestFrameErrorFormat(t *testing.T) {
+	err := &FrameError{Receiver: 3, Sender: 7, Len: 99, Reason: "checksum mismatch"}
+	const want = "mailbox: bad frame from 7 to 3 (len 99): checksum mismatch"
+	if got := err.Error(); got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+	var e error = err
+	if e.Error() != want {
+		t.Fatal("Error() via the error interface diverges")
+	}
+}
+
 // TestTruncatedFrameIsError is the regression test for the length check: a
 // frame claiming an impossible payload length must surface as a *FrameError,
 // not a panic or an out-of-bounds read.

@@ -103,7 +103,20 @@ type Table struct {
 	version uint64
 
 	mapped int
+
+	// mapHook, when set, observes entry installs and removals (the
+	// sanitizer's unmap audit). Charges no simulated time.
+	mapHook MapHook
 }
+
+// MapHook observes page-table modifications: called with mapped=true when
+// an entry is installed for the page holding vaddr and mapped=false when
+// the entry is removed. The table does not know which core owns it, so the
+// installer captures that in a closure. A nil hook costs one branch.
+type MapHook func(vaddr uint32, mapped bool)
+
+// SetMapHook installs the modification observer; nil disables it.
+func (t *Table) SetMapHook(h MapHook) { t.mapHook = h }
 
 // Version returns the modification counter: it changes on every Map, Unmap
 // and Update, so a cached Lookup result is valid iff the version at caching
@@ -154,9 +167,13 @@ func (t *Table) Map(vaddr, pfn uint32, flags Flags) {
 	} else if tab[ti].Flags.Has(Present) && !flags.Has(Present) {
 		t.mapped--
 	}
+	existed := tab[ti] != (Entry{})
 	tab[ti] = Entry{PFN: pfn, Flags: flags}
 	t.tlbValid = false
 	t.version++
+	if t.mapHook != nil && !existed {
+		t.mapHook(vaddr, true)
+	}
 }
 
 // Unmap removes the entry for the page containing vaddr entirely.
@@ -166,12 +183,18 @@ func (t *Table) Unmap(vaddr uint32) {
 	if tab == nil {
 		return
 	}
+	if tab[ti] == (Entry{}) {
+		return
+	}
 	if tab[ti].Flags.Has(Present) {
 		t.mapped--
 	}
 	tab[ti] = Entry{}
 	t.tlbValid = false
 	t.version++
+	if t.mapHook != nil {
+		t.mapHook(vaddr, false)
+	}
 }
 
 // Update mutates the entry for vaddr in place via fn. It panics if no entry

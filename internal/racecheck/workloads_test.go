@@ -32,7 +32,7 @@ func newMachine(t *testing.T, model svm.Model, members []int) *core.Machine {
 		Chip:    smallChip(),
 		SVM:     &scfg,
 		Members: members,
-		Race:    &racecheck.Config{},
+		Observe: core.Instrumentation{Race: &racecheck.Config{}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +198,7 @@ func TestCheckerDoesNotPerturbTime(t *testing.T) {
 			Chip:    smallChip(),
 			SVM:     &scfg,
 			Members: []int{0, 1, 2},
-			Race:    race,
+			Observe: core.Instrumentation{Race: race},
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,130 @@
+package sancheck
+
+import (
+	"fmt"
+
+	"metalsvm/internal/sim"
+)
+
+// This file is the Eraser-style lockset checker. Each shared 4-byte granule
+// carries a candidate set of locks; every access intersects it with the
+// accessor's held set, and a written granule whose candidate set goes empty
+// was not consistently protected by any single lock. Where Eraser uses
+// thread identity, the simulated machine has two extra ordering sources the
+// checker must respect or it would flag every barrier-phased program:
+//
+//   - Barrier epochs: every member passes every kernel barrier, so an
+//     access by a core whose barrier count exceeds the granule's last
+//     recorded epoch is ordered after all earlier accesses — the granule
+//     restarts in Exclusive state (the classic initialization handoff).
+//
+//   - Ownership epochs (strong model): acquiring a page's ownership orders
+//     the previous owner's accesses before the new owner's, page-wide.
+//
+// This complements the happens-before detector: FastTrack only flags
+// conflicts the schedule actually left unordered, while the lockset view
+// flags inconsistent locking even when this run's interleaving happened to
+// serialize the accesses.
+
+const (
+	modeExclusive = iota // one core has accessed since the last epoch reset
+	modeShared           // multiple cores, reads only since the transition
+	modeSharedMod        // multiple cores, at least one write
+)
+
+// lsWord is the lockset shadow of one granule.
+type lsWord struct {
+	mode int
+	// core is the exclusive owner (modeExclusive) or last accessor.
+	core int32
+	// epoch/ownEpoch are the accessor's barrier epoch and the page's
+	// ownership epoch at the last access; a later access strictly above
+	// either is ordered after everything recorded here.
+	epoch    uint32
+	ownEpoch uint32
+	// set is the candidate lockset (valid in the shared modes).
+	set []token
+}
+
+type locksetState struct {
+	granules map[uint32]*lsWord
+	reported map[uint32]bool
+}
+
+func newLocksetState() *locksetState {
+	return &locksetState{
+		granules: make(map[uint32]*lsWord),
+		reported: make(map[uint32]bool),
+	}
+}
+
+// intersect returns the tokens present in both sets (small slices; the held
+// set rarely exceeds one or two locks).
+func intersect(a, b []token) []token {
+	var out []token
+	for _, t := range a {
+		for _, u := range b {
+			if t == u {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (ls *locksetState) onAccess(k *Checker, core int, vaddr uint32, size int, write bool, at sim.Time) {
+	first := vaddr >> granuleShift
+	last := (vaddr + uint32(size) - 1) >> granuleShift
+	for g := first; g <= last; g++ {
+		ls.onGranule(k, core, g<<granuleShift, write, at)
+	}
+}
+
+func (ls *locksetState) onGranule(k *Checker, core int, addr uint32, write bool, at sim.Time) {
+	e := k.epoch[core]
+	oe := k.ownEpoch[k.pageOf(addr)]
+	w := ls.granules[addr]
+	if w == nil {
+		ls.granules[addr] = &lsWord{mode: modeExclusive, core: int32(core), epoch: e, ownEpoch: oe}
+		return
+	}
+	if w.mode == modeExclusive && int(w.core) == core {
+		w.epoch, w.ownEpoch = e, oe
+		return
+	}
+	if e > w.epoch || oe > w.ownEpoch {
+		// Ordered behind a barrier or an ownership transfer: everything
+		// recorded happened-before this access. Restart exclusive.
+		*w = lsWord{mode: modeExclusive, core: int32(core), epoch: e, ownEpoch: oe}
+		return
+	}
+	prev := int(w.core)
+	switch w.mode {
+	case modeExclusive:
+		// Second core within one epoch: the candidate set starts as this
+		// accessor's held set (Eraser's transition refinement).
+		w.set = append([]token(nil), k.held[core]...)
+		if write {
+			w.mode = modeSharedMod
+		} else {
+			w.mode = modeShared
+		}
+	default:
+		w.set = intersect(w.set, k.held[core])
+		if write {
+			w.mode = modeSharedMod
+		}
+	}
+	w.core, w.epoch, w.ownEpoch = int32(core), e, oe
+	if w.mode == modeSharedMod && len(w.set) == 0 && !ls.reported[addr] {
+		ls.reported[addr] = true
+		op := "read"
+		if write {
+			op = "write"
+		}
+		k.report(Finding{Kind: LocksetRace, Core: core, Addr: addr, At: at,
+			Detail: fmt.Sprintf("granule %#x shared by cores %d and %d with empty lockset (%s under %s)",
+				addr, prev, core, op, fmtSet(k.held[core]))})
+	}
+}

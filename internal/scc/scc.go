@@ -121,6 +121,10 @@ type Chip struct {
 	// tracer, when set, records protocol events from every layer.
 	tracer *trace.Buffer
 
+	// tasHook, when set, observes test-and-set register transitions (the
+	// sanitizer's lock-order graph). Charges no simulated time.
+	tasHook TASHook
+
 	// faults, when set, injects deterministic mesh/IPI/TAS faults into the
 	// synchronous primitives; harden selects the recovery protocols in the
 	// layers above (mailbox retransmission, retry backoff, rescue scans).
@@ -170,6 +174,9 @@ func (ch *Chip) LastMeshShare(core int) sim.Duration { return ch.lastMesh[core] 
 
 // SetTracer installs an event buffer; nil disables tracing.
 func (ch *Chip) SetTracer(b *trace.Buffer) { ch.tracer = b }
+
+// SetTASHook installs the test-and-set observer; nil disables it.
+func (ch *Chip) SetTASHook(h TASHook) { ch.tasHook = h }
 
 // Tracer returns the installed event buffer (possibly nil; trace.Buffer
 // methods accept nil receivers).

@@ -14,6 +14,18 @@ import (
 // functional effect — so the effect lands exactly at its completion time
 // and every other synced observer sees a consistent order.
 
+// TASHook observes test-and-set register transitions: a successful
+// TestAndSet (the caller now holds the register) and the clear that lands.
+// Dropped requests and dropped clears are not transitions and are not
+// reported. Methods run on the issuing core's goroutine and must not charge
+// simulated time; a nil hook costs one branch per operation.
+type TASHook interface {
+	// TASAcquired: core's test-and-set of reg succeeded.
+	TASAcquired(core, reg int, at sim.Time)
+	// TASReleased: core's clear of reg landed.
+	TASReleased(core, reg int, at sim.Time)
+}
+
 func (ch *Chip) syncCharge(core int, lat sim.Duration) *cpu.Core {
 	c := ch.cores[core]
 	if cyc := ch.faults.StallCycles(); cyc != 0 {
@@ -114,7 +126,11 @@ func (ch *Chip) TASLock(core, reg int) bool {
 			uint64(faults.TAS), uint64(faults.Drop))
 		return false
 	}
-	return ch.tas.TestAndSet(reg)
+	won := ch.tas.TestAndSet(reg)
+	if won && ch.tasHook != nil {
+		ch.tasHook.TASAcquired(core, reg, c.Now())
+	}
+	return won
 }
 
 // TASUnlock releases the test-and-set register. A fault-injected drop loses
@@ -127,6 +143,9 @@ func (ch *Chip) TASUnlock(core, reg int) {
 		c := ch.syncCharge(core, ch.tasLatency(core, reg))
 		if !ch.faults.Drop(faults.TAS) {
 			ch.tas.Clear(reg)
+			if ch.tasHook != nil {
+				ch.tasHook.TASReleased(core, reg, c.Now())
+			}
 			return
 		}
 		ch.tracer.Emit(c.Now(), core, trace.KindFaultInject,

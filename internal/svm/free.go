@@ -16,10 +16,16 @@ func (h *Handle) Free(base uint32) {
 	s := h.sys
 	r := s.findRegion(base)
 	if r == nil {
+		if s.mem != nil {
+			s.mem.BadFree(h.k.ID(), base)
+		}
 		panic(fmt.Sprintf("svm: Free of %#x, which is not a live allocation base", base))
 	}
 	first := s.pageIndex(base)
 	if s.inReadonly(first) {
+		if s.mem != nil {
+			s.mem.BadFree(h.k.ID(), base)
+		}
 		panic(fmt.Sprintf("svm: Free of read-only region %#x", base))
 	}
 
@@ -62,6 +68,9 @@ func (h *Handle) Free(base uint32) {
 			s.alloc.Free(frame)
 		}
 		r.freed = true
+		if s.mem != nil {
+			s.mem.RegionFreed(h.k.ID(), r.base, r.pages)
+		}
 	}
 	h.k.Barrier()
 }

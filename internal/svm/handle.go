@@ -109,6 +109,9 @@ func (h *Handle) Alloc(bytes uint32) uint32 {
 			panic(fmt.Sprintf("svm: out of shared address space (%d pages requested)", pages))
 		}
 		s.allocs = append(s.allocs, region{base: pageVaddr(s.nextPage), pages: pages})
+		if s.mem != nil {
+			s.mem.RegionAllocated(h.k.ID(), pageVaddr(s.nextPage), pages)
+		}
 		s.nextPage += pages
 	}
 	r := s.allocs[h.allocSeq]
@@ -129,9 +132,15 @@ func (h *Handle) handleFault(vaddr uint32, write bool, e pgtable.Entry) {
 	s := h.sys
 	idx := s.pageIndex(vaddr)
 	if !s.inAllocated(idx) {
+		if s.mem != nil {
+			s.mem.InvalidAccess(h.k.ID(), vaddr, write)
+		}
 		panic(fmt.Sprintf("svm: core %d touched unallocated shared address %#x", h.k.ID(), vaddr))
 	}
 	if write && s.inReadonly(idx) {
+		if s.mem != nil {
+			s.mem.ReadOnlyWrite(h.k.ID(), vaddr)
+		}
 		panic(fmt.Sprintf("svm: core %d wrote read-only region at %#x", h.k.ID(), vaddr))
 	}
 	h.stats.Faults++
@@ -422,6 +431,9 @@ func (h *Handle) ProtectReadOnly(base, bytes uint32) {
 	// One member records the region; everyone waits, then remaps.
 	if !s.inReadonly(first) {
 		s.readonly = append(s.readonly, region{base: pgtable.PageBase(base), pages: pages})
+		if s.mem != nil {
+			s.mem.RegionProtected(h.k.ID(), pgtable.PageBase(base), pages)
+		}
 	}
 	h.k.Barrier()
 	h.k.Core().FlushWCB()

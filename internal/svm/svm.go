@@ -82,6 +82,30 @@ type SyncHook interface {
 	OwnershipAcquired(core int, page uint32)
 }
 
+// MemHook observes the SVM system's memory-lifecycle events (the sanitizer
+// layer's shadow memory): collective allocation, free and protection of
+// regions, plus the invalid operations the layer is about to trap on. The
+// pre-panic callbacks (BadFree, InvalidAccess, ReadOnlyWrite) fire before
+// the corresponding panic, so an observer can classify and record the bug
+// even though the faulting run is about to die. All methods run on the
+// acting core's goroutine and must not charge simulated time; a nil hook
+// costs one branch per event.
+type MemHook interface {
+	// RegionAllocated: the first arriver reserved a region of pages at base.
+	RegionAllocated(core int, base, pages uint32)
+	// RegionFreed: the region's frames were returned to the allocator.
+	RegionFreed(core int, base, pages uint32)
+	// RegionProtected: the region was marked read-only (ProtectReadOnly).
+	RegionProtected(core int, base, pages uint32)
+	// BadFree: Free of base, which is not a live allocation base (panics next).
+	BadFree(core int, base uint32)
+	// InvalidAccess: a fault on an address outside every live region
+	// (panics next).
+	InvalidAccess(core int, vaddr uint32, write bool)
+	// ReadOnlyWrite: a store faulted on a read-only region (panics next).
+	ReadOnlyWrite(core int, vaddr uint32)
+}
+
 // Config holds the SVM system's parameters, including the kernel-path cost
 // calibration (core cycles). The defaults are calibrated so the synthetic
 // benchmark of Section 7.2.1 lands in the region of the paper's Table 1.
@@ -160,11 +184,15 @@ type System struct {
 	handles map[int]*Handle
 
 	hook SyncHook
+	mem  MemHook
 	prof *profile.Profiler
 }
 
 // SetSyncHook installs the synchronization observer; nil disables it.
 func (s *System) SetSyncHook(h SyncHook) { s.hook = h }
+
+// SetMemHook installs the memory-lifecycle observer; nil disables it.
+func (s *System) SetMemHook(h MemHook) { s.mem = h }
 
 // SetProfiler installs the cycle-attribution profiler; nil disables it.
 // Owner-side request serving counts as fault handling; Lock/Unlock and

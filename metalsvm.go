@@ -26,6 +26,7 @@ import (
 	"metalsvm/internal/metrics"
 	"metalsvm/internal/profile"
 	"metalsvm/internal/racecheck"
+	"metalsvm/internal/sancheck"
 	"metalsvm/internal/sim"
 	"metalsvm/internal/svm"
 	"metalsvm/internal/trace"
@@ -68,14 +69,32 @@ func FirstN(n int) []int { return core.FirstN(n) }
 func SVMConfig(m Model) svm.Config { return svm.DefaultConfig(m) }
 
 // RaceConfig configures the happens-before race checker; pass a pointer
-// through Instrumentation.Race (or the deprecated Options.Race) to enable
-// it (the zero value selects the defaults).
+// through Instrumentation.Race to enable it (the zero value selects the
+// defaults).
 type RaceConfig = racecheck.Config
 
 // RaceChecker is the detector attached to Machine.Race when race checking
 // is enabled; inspect it after the run with Races, Dynamic, Clean, or
 // Report.
 type RaceChecker = racecheck.Checker
+
+// SanitizeConfig configures the sanitizer suite — the SVM shadow-memory
+// checker, the Eraser-style lockset checker and the lock-order graph; pass
+// a pointer through Instrumentation.Sanitize to enable it (the zero value
+// enables every class).
+type SanitizeConfig = sancheck.Config
+
+// Sanitizer is the checker attached to the observation when sanitizing is
+// enabled; read it with Machine.Observability().San() and inspect it with
+// Findings, Dynamic, Clean, or Report.
+type Sanitizer = sancheck.Checker
+
+// SanFinding is one sanitizer finding; SanKind classifies it.
+type SanFinding = sancheck.Finding
+
+// SanKind classifies a sanitizer finding (uninitialized read, lockset race,
+// lock-order cycle, …).
+type SanKind = sancheck.Kind
 
 // Instrumentation is the single configuration point for everything that
 // observes a run without perturbing it — event tracing, race checking, the
