@@ -123,6 +123,54 @@ func runChaos(arg string, rounds, iters int) int {
 		check("matmul strong", mres)
 	}
 
+	// Crash suite: when the schedule carries crash faults (the crash and
+	// mixed presets), rerun Laplace on the replicated ownership directory
+	// with the primary manager killed mid-run and a page owner killed right
+	// after it finishes. The cooperative result and the post-crash audit
+	// must both be the exact reference checksum, the counters must show a
+	// real failover (and, under the strong model, dead-owner reclaims), and
+	// the same seed must replay bit-identically.
+	if len(fc.Spec.Crashes) > 0 {
+		cp := laplace.Params{Rows: 16, Cols: 512, Iters: iters, TopTemp: 100}
+		if cp.Iters > 8 {
+			cp.Iters = 8 // one 4 KiB page per row is the point, not the length
+		}
+		ccfg := bench.Fig9Config{Params: cp, Chip: chaosChip()}
+		cwant := laplace.ReferenceChecksum(cp)
+		for _, model := range []svm.Model{svm.Strong, svm.LazyRelease} {
+			name := fmt.Sprintf("dir %v", model)
+			r := bench.Fig9CrashChaos(ccfg, model, 4, &fc)
+			switch {
+			case !r.Completed:
+				fail(name, "run froze; watchdog report follows")
+				fmt.Fprintln(&dump, r.Watchdog)
+			case r.Sum != cwant:
+				fail(name, "checksum %v != reference %v", r.Sum, cwant)
+			case r.AuditSum != cwant:
+				fail(name, "audit checksum %v != reference %v", r.AuditSum, cwant)
+			case r.Faults.Crashes == 0:
+				fail(name, "schedule crashed nobody")
+			case r.Dir.ViewChanges == 0:
+				fail(name, "no failover despite primary crash: %+v", r.Dir)
+			case model == svm.Strong && r.Dir.Reconstructions == 0:
+				fail(name, "audit forced no dead-owner reclaims: %+v", r.Dir)
+			default:
+				fmt.Printf("  %-16s %10.3f us   ok (%d crashed, %d failovers, %d reclaims, %d commits, %d fenced)\n",
+					name, r.US, r.Faults.Crashes, r.Dir.ViewChanges, r.Dir.Reconstructions,
+					r.Dir.Commits, r.Dir.Fenced)
+			}
+		}
+		dA := bench.Fig9CrashChaos(ccfg, svm.Strong, 4, &fc)
+		dB := bench.Fig9CrashChaos(ccfg, svm.Strong, 4, &fc)
+		if dA.EndUS != dB.EndUS || dA.Sum != dB.Sum || dA.AuditSum != dB.AuditSum ||
+			dA.Dir != dB.Dir || dA.Faults != dB.Faults {
+			fail("dir replay", "same seed diverged: %.3f us/%v vs %.3f us/%v",
+				dA.EndUS, dA.Sum, dB.EndUS, dB.Sum)
+		} else {
+			fmt.Printf("  %-16s %10s      ok (bit-identical)\n", "dir replay", "")
+		}
+	}
+
 	if !ok {
 		fmt.Fprintf(&dump, "\nchaos: seed %d schedule %q rounds %d iters %d\n",
 			fc.Seed, chaosSpecName(arg), rounds, iters)

@@ -40,7 +40,7 @@ func main() {
 	check := flag.Bool("check", false, "run the happens-before race checker over every workload and exit non-zero on races")
 	sanitize := flag.Bool("sanitize", false, "run the sanitizer suite (shadow memory, locksets, lock-order graph) over every workload and exit non-zero on findings")
 	baseline := flag.Bool("baseline", false, "with -bench: require simulated results to match the committed BENCH_sim.json bit for bit")
-	chaos := flag.String("chaos", "", "run the chaos harness with `seed[,spec]`: representative cells under deterministic fault injection (specs: corrupt, delays, drops, light, mixed)")
+	chaos := flag.String("chaos", "", "run the chaos harness with `seed[,spec]`: representative cells under deterministic fault injection (specs: corrupt, crash, delays, drops, light, mixed; crash and mixed also run the replicated-directory failover cells)")
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = one per host CPU, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
 	benchMode := flag.Bool("bench", false, "measure host wall-clock of the experiments (fast paths and parallel runner on vs off), write BENCH_sim.json, and verify the configurations agree bit-exactly")
@@ -53,7 +53,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "       sccbench -sanitize\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -chaos seed[,spec]\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -bench [-baseline]\n")
-		fmt.Fprintf(os.Stderr, "       sccbench -metrics|-profile|-perfetto out.json fig6|fig7|table1|fig9|all\n")
+		fmt.Fprintf(os.Stderr, "       sccbench -metrics|-profile|-perfetto out.json fig6|fig7|table1|fig9|repldir|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

@@ -64,16 +64,20 @@ func runObserve(cmd string, rounds, iters int, oc observeConfig) int {
 			us, obs := bench.Fig9Observed(bench.QuickFig9(iters), svm.Strong, 8, oc.instrumentation())
 			return fmt.Sprintf("Laplace on 8 cores, strong model: %.1f us iteration loop", us), obs
 		}},
+		"repldir": {"repldir", func() (string, *core.Observation) {
+			us, obs := bench.Fig9DirObserved(bench.QuickFig9(iters), svm.Strong, 8, oc.instrumentation())
+			return fmt.Sprintf("Laplace on 8 workers, strong model, replicated ownership directory: %.1f us iteration loop", us), obs
+		}},
 	}
 	var selected []harness
 	if cmd == "all" {
-		for _, name := range []string{"fig6", "fig7", "table1", "fig9"} {
+		for _, name := range []string{"fig6", "fig7", "table1", "fig9", "repldir"} {
 			selected = append(selected, harnesses[name])
 		}
 	} else if h, ok := harnesses[cmd]; ok {
 		selected = append(selected, h)
 	} else {
-		fmt.Fprintf(os.Stderr, "sccbench: -metrics/-profile/-perfetto support fig6|fig7|table1|fig9|all, not %q\n", cmd)
+		fmt.Fprintf(os.Stderr, "sccbench: -metrics/-profile/-perfetto support fig6|fig7|table1|fig9|repldir|all, not %q\n", cmd)
 		return 2
 	}
 

@@ -24,6 +24,7 @@ type SVMApp struct {
 	// Collective state (written under the simulator's deterministic
 	// single-threaded execution).
 	oldBase, newBase uint32
+	finalBase        uint32    // the array holding the final iterate
 	grid             []float64 // final grid, assembled by the ranks
 	elapsed          []sim.Duration
 	faults           uint64
@@ -49,8 +50,8 @@ func (a *SVMApp) Main(h *svm.Handle) {
 	p := a.p
 	k := h.Kernel()
 	c := k.Core()
-	n := len(k.Members())
-	rank := k.Index()
+	n := len(h.Workers())
+	rank := h.Rank()
 	if a.grid == nil {
 		a.grid = make([]float64, p.Cells())
 		a.elapsed = make([]sim.Duration, n)
@@ -100,6 +101,7 @@ func (a *SVMApp) Main(h *svm.Handle) {
 		old, niu = niu, old
 	}
 	a.elapsed[rank] = c.Proc().LocalTime() - start
+	a.finalBase = old
 
 	// Result extraction (outside the timed section): each rank copies its
 	// rows into the host-side grid through the core's load path (which
@@ -121,7 +123,23 @@ func (a *SVMApp) Main(h *svm.Handle) {
 	}
 	a.faults += h.Stats().Faults
 	a.arrived++
-	k.Barrier()
+	h.KernelBarrier()
+}
+
+// AuditChecksum re-reads the entire final grid through one surviving core's
+// load path and checksums it in reference order. Under the strong model this
+// takes an ownership fault for every page still owned elsewhere — including
+// pages whose owner has crash-halted, which forces the directory's
+// revoke-and-reassign recovery. Call it from one rank after Main.
+func (a *SVMApp) AuditChecksum(c *cpu.Core) float64 {
+	p := a.p
+	vals := make([]float64, p.Cells())
+	for r := 0; r < p.Rows; r++ {
+		for col := 0; col < p.Cols; col++ {
+			vals[r*p.Cols+col] = c.LoadF64(a.cellAddr(a.finalBase, r, col))
+		}
+	}
+	return ChecksumGrid(vals)
 }
 
 // sweep updates rows [lo, hi) of niu from old.
@@ -147,7 +165,7 @@ func (a *SVMApp) sweep(c *cpu.Core, old, niu uint32, lo, hi int) {
 
 func (a *SVMApp) barrier(h *svm.Handle) {
 	if a.opts.SkipConsistency {
-		h.Kernel().Barrier()
+		h.KernelBarrier()
 		return
 	}
 	h.Barrier()

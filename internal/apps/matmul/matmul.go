@@ -120,8 +120,8 @@ func (a *App) Main(h *svm.Handle) {
 	n := p.N
 	k := h.Kernel()
 	c := k.Core()
-	ranks := len(k.Members())
-	rank := k.Index()
+	ranks := len(h.Workers())
+	rank := h.Rank()
 	if a.grid == nil {
 		a.grid = make([]float64, n*n)
 		a.elapsed = make([]sim.Duration, ranks)
@@ -183,7 +183,7 @@ func (a *App) Main(h *svm.Handle) {
 		}
 	}
 	a.arrived++
-	k.Barrier()
+	h.KernelBarrier()
 }
 
 // Result combines the per-rank outcomes (valid after the engine has run).

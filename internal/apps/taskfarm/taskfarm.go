@@ -98,9 +98,9 @@ func (a *App) Main(h *svm.Handle) {
 	p := a.p
 	k := h.Kernel()
 	c := k.Core()
-	rank := k.Index()
+	rank := h.Rank()
 	if a.perCore == nil {
-		a.ranks = len(k.Members())
+		a.ranks = len(h.Workers())
 		a.perCore = make([]int, a.ranks)
 		a.elapsed = make([]sim.Duration, a.ranks)
 	}
@@ -144,7 +144,7 @@ func (a *App) Main(h *svm.Handle) {
 		a.sum = sum
 	}
 	a.arrived++
-	k.Barrier()
+	h.KernelBarrier()
 }
 
 // Result combines the per-rank outcomes (valid after the engine has run).

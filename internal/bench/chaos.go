@@ -8,6 +8,7 @@ import (
 	"metalsvm/internal/mailbox"
 	"metalsvm/internal/mesh"
 	"metalsvm/internal/svm"
+	"metalsvm/internal/svm/repldir"
 )
 
 // ChaosResult is one harness cell run under a deterministic fault schedule.
@@ -102,4 +103,111 @@ func Fig9Chaos(cfg Fig9Config, model svm.Model, n int, fc *faults.Config) (Chaos
 	}
 	res := app.Result()
 	return chaosResult(res.Elapsed.Microseconds(), true, m.Cluster), res.Checksum
+}
+
+// DirChaosResult is a crash-chaos cell's post-mortem: the usual chaos record
+// plus the replicated directory's protocol counters and the two application
+// checksums (the cooperative one from the ranks' own extraction, and the
+// post-crash audit read through one survivor).
+type DirChaosResult struct {
+	ChaosResult
+	// Dir is the replicated directory's protocol counters.
+	Dir repldir.Stats
+	// Sum is the application checksum from the ranks' cooperative extraction.
+	Sum float64
+	// AuditSum is the checksum of the full grid re-read by one surviving
+	// core after the last worker crash-halted (forcing dead-owner reclaims
+	// under the strong model).
+	AuditSum float64
+	// EndUS is the run's final simulated time in microseconds.
+	EndUS float64
+}
+
+// auditDelayCycles keeps the auditing rank busy long enough (~375 µs at
+// 533 MHz) for the after-done crash schedule to kill the last worker before
+// the audit's first load.
+const auditDelayCycles = 200_000
+
+// Fig9CrashChaos runs the SVM Laplace cell on a machine with the replicated
+// ownership directory under a crash schedule: the initial primary directory
+// manager is killed mid-computation (forcing a view-change failover) and the
+// last worker is killed right after it finishes (so the post-run audit must
+// revoke and reassign its pages). Crash times are calibrated from a
+// crash-free run of the same seed and schedule, keeping the whole cell a
+// deterministic function of the config.
+func Fig9CrashChaos(cfg Fig9Config, model svm.Model, n int, fc *faults.Config) DirChaosResult {
+	cal := *fc
+	cal.Spec.Crashes = nil
+	calRun := runFig9Dir(cfg, model, n, &cal)
+	run := *fc
+	run.Spec.Crashes = []faults.Crash{
+		{Core: faults.CrashPrimaryManager, AtUS: 0.4 * calRun.EndUS},
+		{Core: faults.CrashLastWorker, AfterDoneUS: 50},
+	}
+	return runFig9Dir(cfg, model, n, &run)
+}
+
+// Fig9DirObserved is the fault-free replicated-directory Laplace cell with
+// instrumentation wired into the machine: the source of the dir.* counters
+// in `sccbench -metrics repldir`. Returns the iteration-loop time and the
+// observation (nil when inst requests nothing).
+func Fig9DirObserved(cfg Fig9Config, model svm.Model, n int, inst core.Instrumentation) (float64, *core.Observation) {
+	chip := cfg.Chip
+	scfg := svm.DefaultConfig(model)
+	m, err := core.NewMachine(core.Options{
+		Chip:                &chip,
+		SVM:                 &scfg,
+		Members:             core.FirstN(n),
+		Observe:             inst,
+		ReplicatedDirectory: &repldir.Config{},
+	})
+	if err != nil {
+		panic(err)
+	}
+	app := laplace.NewSVM(cfg.Params, laplace.SVMOptions{})
+	m.RunAll(func(env *core.Env) { app.Main(env.SVM) })
+	return app.Result().Elapsed.Microseconds(), m.Observability()
+}
+
+// runFig9Dir is one replicated-directory Laplace run: n worker cores plus
+// the manager trio, with rank 0 auditing the full grid after the crash
+// window.
+func runFig9Dir(cfg Fig9Config, model svm.Model, n int, fc *faults.Config) DirChaosResult {
+	chip := cfg.Chip
+	scfg := svm.DefaultConfig(model)
+	m, err := core.NewMachine(core.Options{
+		Chip:                &chip,
+		SVM:                 &scfg,
+		Members:             core.FirstN(n),
+		Faults:              fc,
+		ReplicatedDirectory: &repldir.Config{},
+	})
+	if err != nil {
+		panic(err)
+	}
+	app := laplace.NewSVM(cfg.Params, laplace.SVMOptions{})
+	workers := m.SVM.Workers()
+	var audit float64
+	mains := make(map[int]func(*core.Env), len(workers))
+	for _, id := range workers {
+		id := id
+		mains[id] = func(env *core.Env) {
+			app.Main(env.SVM)
+			if id == workers[0] {
+				env.Core().Cycles(auditDelayCycles)
+				audit = app.AuditChecksum(env.Core())
+			}
+		}
+	}
+	end := m.Run(mains)
+	r := DirChaosResult{EndUS: end.Microseconds(), Dir: m.Dir.Stats()}
+	if m.Cluster.WatchdogFired() {
+		r.ChaosResult = chaosResult(0, false, m.Cluster)
+		return r
+	}
+	res := app.Result()
+	r.ChaosResult = chaosResult(res.Elapsed.Microseconds(), true, m.Cluster)
+	r.Sum = res.Checksum
+	r.AuditSum = audit
+	return r
 }

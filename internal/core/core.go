@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"metalsvm/internal/cpu"
 	"metalsvm/internal/faults"
@@ -30,6 +31,7 @@ import (
 	"metalsvm/internal/scc"
 	"metalsvm/internal/sim"
 	"metalsvm/internal/svm"
+	"metalsvm/internal/svm/repldir"
 )
 
 // Options configures a MetalSVM machine. Zero values select the paper's
@@ -53,6 +55,13 @@ type Options struct {
 	// recovery protocols and the progress watchdog. Nil reproduces plain
 	// runs bit for bit.
 	Faults *faults.Config
+	// ReplicatedDirectory, when non-nil, replaces the SVM system's
+	// single-copy ownership directory with the crash-fault-tolerant
+	// replicated one: Members become the SVM worker set and the manager
+	// cores (Config.Managers, or the highest free cores) are booted
+	// alongside them running the replication kernel. Nil keeps the legacy
+	// directory bit for bit.
+	ReplicatedDirectory *repldir.Config
 }
 
 // Default hardening parameters applied by WireFaults when the kernel config
@@ -112,6 +121,9 @@ type Machine struct {
 	Chip    *scc.Chip
 	Cluster *kernel.Cluster
 	SVM     *svm.System
+	// Dir is the replicated ownership directory, non-nil when
+	// Options.ReplicatedDirectory was set.
+	Dir *repldir.System
 	// Race is the happens-before checker, non-nil when race checking was
 	// enabled via Options.Observe.Race.
 	Race *racecheck.Checker
@@ -142,6 +154,32 @@ func NewMachine(opts Options) (*Machine, error) {
 	}
 	WireFaults(chip, &kcfg, opts.Faults)
 	members := opts.Members
+	var workers, managers []int
+	rcfg := opts.ReplicatedDirectory
+	if rcfg != nil && !chip.FaultsHardened() {
+		// The replication kernel's managers send from their interrupt
+		// handlers; only the hardened mailbox/wait paths (which drain the
+		// sender's own inbox while blocked) make that deadlock-free. Force
+		// them on even for fault-free runs — this overrides NoHarden.
+		chip.Harden()
+		if kcfg.RescuePeriod == 0 {
+			kcfg.RescuePeriod = defaultRescuePeriod
+		}
+	}
+	if rcfg != nil {
+		workers = members
+		if workers == nil {
+			workers = FirstN(chip.Cores() - repldir.ReplicaCount)
+		}
+		managers = rcfg.Managers
+		if managers == nil {
+			managers, err = pickManagers(chip.Cores(), workers)
+			if err != nil {
+				return nil, err
+			}
+		}
+		members = sortedUnion(workers, managers)
+	}
 	if members == nil {
 		members = FirstN(chip.Cores())
 	}
@@ -153,17 +191,117 @@ func NewMachine(opts Options) (*Machine, error) {
 	if opts.SVM != nil {
 		scfg = *opts.SVM
 	}
+	if rcfg != nil {
+		scfg.Workers = workers
+	}
 	sys, err := svm.New(cl, scfg)
 	if err != nil {
 		return nil, err
 	}
+	m := &Machine{Engine: eng, Chip: chip, Cluster: cl, SVM: sys}
+	if rcfg != nil {
+		dcfg := *rcfg
+		dcfg.Managers = managers
+		dir, err := repldir.New(sys, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		sys.SetDirectory(dir)
+		m.Dir = dir
+	}
 	if opts.Faults != nil {
 		cl.AddDiagnostic(sys.DumpDiagnostics)
+		if m.Dir != nil {
+			cl.AddDiagnostic(m.Dir.DumpDiagnostics)
+		}
+		m.resolveCrashes(opts.Faults)
 	}
-	m := &Machine{Engine: eng, Chip: chip, Cluster: cl, SVM: sys}
 	m.obs = Observe(opts.Observe, chip, []*kernel.Cluster{cl}, []*svm.System{sys})
+	m.obs.AddDirectory(m.Dir)
 	m.Race = m.obs.Race()
 	return m, nil
+}
+
+// pickManagers selects the highest cores that are not SVM workers as the
+// directory's manager group, in ascending order (managers[0] is the initial
+// primary).
+func pickManagers(cores int, workers []int) ([]int, error) {
+	inWorkers := make(map[int]bool, len(workers))
+	for _, w := range workers {
+		inWorkers[w] = true
+	}
+	var picked []int
+	for id := cores - 1; id >= 0 && len(picked) < repldir.ReplicaCount; id-- {
+		if !inWorkers[id] {
+			picked = append(picked, id)
+		}
+	}
+	if len(picked) < repldir.ReplicaCount {
+		return nil, fmt.Errorf("core: no %d free cores for directory managers (workers %v of %d cores)",
+			repldir.ReplicaCount, workers, cores)
+	}
+	// picked is descending; view order wants ascending.
+	for i, j := 0, len(picked)-1; i < j; i, j = i+1, j-1 {
+		picked[i], picked[j] = picked[j], picked[i]
+	}
+	return picked, nil
+}
+
+// sortedUnion merges two distinct-sorted member lists.
+func sortedUnion(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	var out []int
+	for _, id := range a {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range b {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// resolveCrashes installs the fault schedule's permanent crashes on the
+// cluster, resolving role sentinels against the machine's directory layout.
+// Sentinel entries are inert without the replicated directory, and entries
+// with no time are harness markers left for the benchmark driver to fill in.
+func (m *Machine) resolveCrashes(fc *faults.Config) {
+	for _, c := range fc.Spec.Crashes {
+		id := c.Core
+		switch id {
+		case faults.CrashPrimaryManager:
+			if m.Dir == nil {
+				continue
+			}
+			id = m.Dir.Managers()[0]
+		case faults.CrashBackupManager:
+			if m.Dir == nil {
+				continue
+			}
+			id = m.Dir.Managers()[1]
+		case faults.CrashLastWorker:
+			if m.Dir == nil {
+				continue
+			}
+			w := m.SVM.Workers()
+			id = w[len(w)-1]
+		}
+		if id < 0 {
+			continue
+		}
+		switch {
+		case c.AfterDoneUS > 0:
+			m.Cluster.ScheduleCrashAfterDone(id, sim.Microseconds(c.AfterDoneUS))
+		case c.AtUS > 0:
+			m.Cluster.ScheduleCrash(id, sim.Microseconds(c.AtUS))
+		}
+	}
 }
 
 // Run boots each member with its main (every member must have one) and
@@ -175,10 +313,17 @@ func (m *Machine) Run(mains map[int]func(*Env)) sim.Time {
 	m.started = true
 	for _, id := range m.Cluster.Members() {
 		main := mains[id]
+		if main == nil && m.Dir != nil && m.Dir.IsManager(id) {
+			// Managers default to the directory service loop.
+			main = func(env *Env) { m.Dir.ManagerMain(env.K) }
+		}
 		if main == nil {
 			panic(fmt.Sprintf("core: no main for member %d", id))
 		}
 		m.Cluster.Start(id, func(k *kernel.Kernel) {
+			if m.Dir != nil {
+				m.Dir.Attach(k)
+			}
 			main(&Env{K: k, SVM: m.SVM.Attach(k)})
 		})
 	}
@@ -188,10 +333,15 @@ func (m *Machine) Run(mains map[int]func(*Env)) sim.Time {
 	return end
 }
 
-// RunAll runs the same main on every member.
+// RunAll runs the same main on every SVM worker (every member when the
+// legacy directory is in place; directory managers keep their service loop).
 func (m *Machine) RunAll(main func(*Env)) sim.Time {
-	mains := make(map[int]func(*Env), len(m.Cluster.Members()))
-	for _, id := range m.Cluster.Members() {
+	ids := m.Cluster.Members()
+	if m.Dir != nil {
+		ids = m.SVM.Workers()
+	}
+	mains := make(map[int]func(*Env), len(ids))
+	for _, id := range ids {
 		mains[id] = main
 	}
 	return m.Run(mains)

@@ -14,6 +14,7 @@ import (
 	"metalsvm/internal/sancheck"
 	"metalsvm/internal/scc"
 	"metalsvm/internal/svm"
+	"metalsvm/internal/svm/repldir"
 	"metalsvm/internal/trace"
 )
 
@@ -58,6 +59,7 @@ type Observation struct {
 	chip     *scc.Chip
 	clusters []*kernel.Cluster
 	systems  []*svm.System
+	dirs     []*repldir.System
 
 	race    *racecheck.Checker
 	san     *sancheck.Checker
@@ -103,6 +105,16 @@ func Observe(cfg Instrumentation, chip *scc.Chip,
 		}
 	}
 	return o
+}
+
+// AddDirectory registers a replicated ownership directory so its protocol
+// counters join the metrics harvest. Nil-safe on both sides, so callers can
+// pass their (possibly nil) directory unconditionally.
+func (o *Observation) AddDirectory(d *repldir.System) {
+	if o == nil || d == nil {
+		return
+	}
+	o.dirs = append(o.dirs, d)
 }
 
 // Finish closes out the observation after the engine has run: it finalizes
@@ -230,6 +242,7 @@ func (o *Observation) harvest() *metrics.Snapshot {
 		r.Counter("mailbox.corrupt_drops").Add(mbs.CorruptDrops)
 		r.Counter("mailbox.dup_frames").Add(mbs.DupFrames)
 		r.Counter("mailbox.short_frames").Add(mbs.ShortFrames)
+		r.Counter("mailbox.dead_drops").Add(mbs.DeadDrops)
 		for _, id := range cl.Members() {
 			c := o.chip.Core(id)
 			cs := c.Stats()
@@ -280,11 +293,32 @@ func (o *Observation) harvest() *metrics.Snapshot {
 			r.Counter("svm.owner_backoffs").Add(ss.OwnerBackoffs)
 		}
 	}
+	for _, d := range o.dirs {
+		ds := d.Stats()
+		r.Counter("dir.requests").Add(ds.Requests)
+		r.Counter("dir.lookups").Add(ds.Lookups)
+		r.Counter("dir.claims").Add(ds.Claims)
+		r.Counter("dir.get_owners").Add(ds.GetOwners)
+		r.Counter("dir.transfers").Add(ds.Transfers)
+		r.Counter("dir.reclaims").Add(ds.Reclaims)
+		r.Counter("dir.forgets").Add(ds.Forgets)
+		r.Counter("dir.redirects").Add(ds.Redirects)
+		r.Counter("dir.timeouts").Add(ds.Timeouts)
+		r.Counter("dir.client_retries").Add(ds.ClientRetries)
+		r.Counter("dir.commits").Add(ds.Commits)
+		r.Counter("dir.prepares").Add(ds.Prepares)
+		r.Counter("dir.prepare_oks").Add(ds.PrepareOKs)
+		r.Counter("dir.solo_commits").Add(ds.SoloCommits)
+		r.Counter("dir.view_changes").Add(ds.ViewChanges)
+		r.Counter("dir.reconstructions").Add(ds.Reconstructions)
+		r.Counter("dir.fenced").Add(ds.Fenced)
+	}
 	if in := o.chip.FaultInjector(); in.Enabled() {
 		fs := in.Stats()
 		r.Counter("faults.decisions").Add(fs.Decisions)
 		r.Counter("faults.injected").Add(fs.Injected())
 		r.Counter("faults.stalls").Add(fs.Stalls)
+		r.Counter("faults.crashes").Add(fs.Crashes)
 		for rt := faults.Route(0); rt < faults.NumRoutes; rt++ {
 			r.Counter("faults.drops." + rt.String()).Add(fs.Drops[rt])
 			r.Counter("faults.dups." + rt.String()).Add(fs.Dups[rt])

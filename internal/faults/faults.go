@@ -107,6 +107,37 @@ func (rs RouteSpec) enabled() bool {
 		rs.DelayPermille != 0 || rs.CorruptPermille != 0
 }
 
+// Crash schedules a permanent core crash: the core halts and never executes
+// again — distinct from a transient Stall. Crashes are schedule-driven, not
+// probabilistic: they consume no randomness, so adding one to a spec never
+// perturbs the random stream of the probabilistic fault classes.
+type Crash struct {
+	// Core is the core to kill, or one of the Crash* sentinels below, which
+	// the machine resolves against its replicated-directory role assignment
+	// (sentinels are inert on machines without a replicated directory).
+	Core int
+	// AtUS, when nonzero, crashes the core at this absolute simulated time
+	// (microseconds).
+	AtUS float64
+	// AfterDoneUS, when nonzero, crashes the core this many simulated
+	// microseconds after its kernel main returns — the "owner dies right
+	// after producing data others still need" schedule.
+	AfterDoneUS float64
+}
+
+// Sentinel values for Crash.Core, resolved by the machine against its
+// replicated-directory role assignment. A sentinel crash with zero AtUS and
+// AfterDoneUS is a marker for the chaos harness (which computes concrete
+// times from a calibration run) and schedules nothing by itself.
+const (
+	// CrashPrimaryManager kills the initial primary directory manager.
+	CrashPrimaryManager = -2
+	// CrashBackupManager kills the first backup directory manager.
+	CrashBackupManager = -3
+	// CrashLastWorker kills the highest-numbered SVM worker core.
+	CrashLastWorker = -4
+)
+
 // Spec is a complete fault schedule.
 type Spec struct {
 	// Routes holds the per-route fault probabilities, indexed by Route.
@@ -116,11 +147,13 @@ type Spec struct {
 	StallPermille uint32
 	// StallCycles: length of an injected transient core stall.
 	StallCycles uint64
+	// Crashes is the permanent-crash schedule.
+	Crashes []Crash
 }
 
 // Enabled reports whether the spec can inject anything at all.
 func (sp Spec) Enabled() bool {
-	if sp.StallPermille != 0 {
+	if sp.StallPermille != 0 || len(sp.Crashes) != 0 {
 		return true
 	}
 	for _, rs := range sp.Routes {
@@ -157,11 +190,13 @@ type Stats struct {
 	Corruptions [NumRoutes]uint64
 	// Stalls counts injected transient core stalls.
 	Stalls uint64
+	// Crashes counts permanent core crashes that actually fired.
+	Crashes uint64
 }
 
 // Injected returns the total number of injected faults of any kind.
 func (s Stats) Injected() uint64 {
-	total := s.Stalls
+	total := s.Stalls + s.Crashes
 	for r := 0; r < int(NumRoutes); r++ {
 		total += s.Drops[r] + s.Dups[r] + s.Delays[r] + s.Corruptions[r]
 	}
@@ -290,6 +325,16 @@ func (in *Injector) Corrupt(r Route, buf []byte) bool {
 	return true
 }
 
+// NoteCrash records a permanent core crash that fired. Crashes are
+// schedule-driven — this only bumps the counter and draws no randomness.
+// Nil-safe.
+func (in *Injector) NoteCrash() {
+	if in == nil {
+		return
+	}
+	in.stats.Crashes++
+}
+
 // StallCycles returns the length of an injected transient core stall (in
 // core cycles), or zero. Nil-safe.
 func (in *Injector) StallCycles() uint64 {
@@ -336,17 +381,37 @@ func presetSpecs() map[string]Spec {
 	mixed.StallPermille = 2
 	mixed.StallCycles = 500
 
+	// Sentinel crash markers: kill the primary directory manager mid-run
+	// and a page owner right after it finishes. The chaos harness resolves
+	// them to concrete cores and times (from a calibration run); outside
+	// the harness, on a machine without a replicated directory, they are
+	// inert.
+	crashes := []Crash{
+		{Core: CrashPrimaryManager},
+		{Core: CrashLastWorker},
+	}
+
+	// The rates are high enough that even the small ping-pong cells (a few
+	// hundred injector decisions) reliably see injected faults.
+	crash := Spec{}
+	crash.Routes[Mail] = RouteSpec{DropPermille: 20, DelayPermille: 10, DelayCycles: 2000}
+	crash.Routes[IPI] = RouteSpec{DropPermille: 15}
+	crash.Crashes = crashes
+
+	mixed.Crashes = append([]Crash(nil), crashes...)
+
 	return map[string]Spec{
 		"light":   light,
 		"drops":   drops,
 		"corrupt": corrupt,
 		"delays":  delays,
 		"mixed":   mixed,
+		"crash":   crash,
 	}
 }
 
 // PresetSpec returns the named fault schedule. Names: light, drops,
-// corrupt, delays, mixed.
+// corrupt, delays, mixed, crash.
 func PresetSpec(name string) (Spec, bool) {
 	sp, ok := presetSpecs()[name]
 	return sp, ok

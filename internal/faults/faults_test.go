@@ -1,6 +1,9 @@
 package faults
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestNilInjectorSafe: every decision method must be a no-op on nil.
 func TestNilInjectorSafe(t *testing.T) {
@@ -24,8 +27,12 @@ func TestNilInjectorSafe(t *testing.T) {
 	if s := in.Stats(); s != (Stats{}) {
 		t.Fatalf("nil injector stats nonzero: %+v", s)
 	}
-	if c := in.Config(); c != (Config{}) {
+	if c := in.Config(); !reflect.DeepEqual(c, Config{}) {
 		t.Fatalf("nil injector config nonzero: %+v", c)
+	}
+	in.NoteCrash()
+	if s := in.Stats(); s.Crashes != 0 {
+		t.Fatalf("nil injector counted a crash: %+v", s)
 	}
 }
 
@@ -121,7 +128,7 @@ func TestPresetsAndParse(t *testing.T) {
 		t.Fatalf("ParseConfig(42): %+v, %v", cfg, err)
 	}
 	mixed, _ := PresetSpec("mixed")
-	if cfg.Spec != mixed {
+	if !reflect.DeepEqual(cfg.Spec, mixed) {
 		t.Fatal("default spec is not mixed")
 	}
 	cfg, err = ParseConfig("7,drops")
@@ -129,7 +136,7 @@ func TestPresetsAndParse(t *testing.T) {
 		t.Fatalf("ParseConfig(7,drops): %+v, %v", cfg, err)
 	}
 	drops, _ := PresetSpec("drops")
-	if cfg.Spec != drops {
+	if !reflect.DeepEqual(cfg.Spec, drops) {
 		t.Fatal("named spec not honoured")
 	}
 	if _, err := ParseConfig("x"); err == nil {
@@ -137,5 +144,114 @@ func TestPresetsAndParse(t *testing.T) {
 	}
 	if _, err := ParseConfig("1,zzz"); err == nil {
 		t.Fatal("bad spec accepted")
+	}
+}
+
+// TestParseConfigErrors walks the malformed-argument space: empty strings,
+// junk seeds, trailing commas, unknown preset names.
+func TestParseConfigErrors(t *testing.T) {
+	bad := []string{"", ",", ",mixed", "x", "-", "1,", "1,nope", "1,MIXED", "seed,mixed"}
+	for _, arg := range bad {
+		if cfg, err := ParseConfig(arg); err == nil {
+			t.Errorf("ParseConfig(%q) accepted: %+v", arg, cfg)
+		}
+	}
+	// The unknown-spec error must list the available presets so the CLI
+	// message is self-documenting.
+	_, err := ParseConfig("1,zzz")
+	if err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+	for _, name := range Presets() {
+		if !contains(err.Error(), name) {
+			t.Errorf("unknown-spec error %q does not mention preset %q", err, name)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPresetRoundTrips: every listed preset must parse back through the
+// seed,spec syntax to the exact same schedule.
+func TestPresetRoundTrips(t *testing.T) {
+	for _, name := range Presets() {
+		want, ok := PresetSpec(name)
+		if !ok {
+			t.Fatalf("Presets lists %q but PresetSpec misses it", name)
+		}
+		cfg, err := ParseConfig("123," + name)
+		if err != nil {
+			t.Fatalf("ParseConfig(123,%s): %v", name, err)
+		}
+		if cfg.Seed != 123 {
+			t.Fatalf("preset %q round-trip lost the seed: %d", name, cfg.Seed)
+		}
+		if !reflect.DeepEqual(cfg.Spec, want) {
+			t.Fatalf("preset %q round-trip changed the schedule:\n%+v\nvs\n%+v", name, cfg.Spec, want)
+		}
+	}
+}
+
+// TestSeedOnlyConfig: a bare seed selects the mixed preset, which must be
+// enabled and carry the sentinel crash markers.
+func TestSeedOnlyConfig(t *testing.T) {
+	cfg, err := ParseConfig("99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Spec.Enabled() {
+		t.Fatal("seed-only config disabled")
+	}
+	if len(cfg.Spec.Crashes) == 0 {
+		t.Fatal("mixed preset carries no crash markers")
+	}
+}
+
+// TestCrashSchedules covers the crash fault model at the spec level: the
+// crash preset, spec enablement from crashes alone, and the no-randomness
+// discipline of NoteCrash.
+func TestCrashSchedules(t *testing.T) {
+	crash, ok := PresetSpec("crash")
+	if !ok {
+		t.Fatal("crash preset missing")
+	}
+	if len(crash.Crashes) == 0 {
+		t.Fatal("crash preset schedules no crashes")
+	}
+	foundPrimary, foundWorker := false, false
+	for _, cr := range crash.Crashes {
+		switch cr.Core {
+		case CrashPrimaryManager:
+			foundPrimary = true
+		case CrashLastWorker:
+			foundWorker = true
+		}
+	}
+	if !foundPrimary || !foundWorker {
+		t.Fatalf("crash preset misses sentinels: %+v", crash.Crashes)
+	}
+
+	// A crash-only spec is enabled even with all probabilistic routes zero.
+	sp := Spec{Crashes: []Crash{{Core: 3, AtUS: 100}}}
+	if !sp.Enabled() {
+		t.Fatal("crash-only spec reports disabled")
+	}
+
+	// NoteCrash counts into Injected but draws no randomness.
+	in := NewInjector(Config{Seed: 1, Spec: sp})
+	in.NoteCrash()
+	s := in.Stats()
+	if s.Crashes != 1 || s.Injected() != 1 {
+		t.Fatalf("crash not counted: %+v", s)
+	}
+	if s.Decisions != 0 {
+		t.Fatalf("NoteCrash consumed %d random draws", s.Decisions)
 	}
 }

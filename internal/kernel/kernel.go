@@ -96,8 +96,14 @@ type Kernel struct {
 	barrierUsed []int
 
 	done      bool
+	dead      bool // crash-halted; never executes again
 	servicing bool // reentrancy guard for serviceSelf
 	stats     Stats
+
+	// tickHook, when set, runs on every timer tick on this kernel's
+	// goroutine — the replicated directory's failure detector lives here.
+	// Nil-checked per the hook discipline; a nil hook costs one branch.
+	tickHook func()
 
 	// timerLCG drives the deterministic tick jitter (see armTimer).
 	timerLCG uint64
@@ -114,6 +120,12 @@ type Cluster struct {
 	// every member is done, so a late page fault always finds its peer
 	// alive (a real kernel idles and serves — it never "returns").
 	doneCount int
+	// deadCount tracks members that crash-halted before finishing; the
+	// cluster is finished when every member is done or dead.
+	deadCount int
+	// crashAfterDone holds crash delays applied when a member's main
+	// returns (ScheduleCrashAfterDone).
+	crashAfterDone map[int]sim.Duration
 
 	// prof, when set, receives bucket transitions from barrier and wait
 	// paths; it charges no simulated time.
@@ -197,7 +209,7 @@ func (cl *Cluster) WatchdogReport() string { return cl.wdReport }
 // the void advances both forever without the cluster getting anywhere.
 func (cl *Cluster) progress() uint64 {
 	st := cl.mb.Stats()
-	p := st.Sends + st.Recvs + uint64(cl.doneCount)
+	p := st.Sends + st.Recvs + uint64(cl.doneCount) + uint64(cl.deadCount)
 	for _, m := range cl.members {
 		if k := cl.kernels[m]; k != nil {
 			p += k.stats.Dispatched + k.stats.Barriers
@@ -211,7 +223,7 @@ func (cl *Cluster) armWatchdog() {
 }
 
 func (cl *Cluster) watchdogTick() {
-	if cl.wdFired || cl.doneCount == len(cl.members) {
+	if cl.wdFired || cl.finished() {
 		return // run finished (or already aborted): let the queue drain
 	}
 	p := cl.progress()
@@ -236,9 +248,9 @@ func (cl *Cluster) fireWatchdog(p uint64) {
 	cl.wdFired = true
 	eng := cl.chip.Engine()
 	var b strings.Builder
-	fmt.Fprintf(&b, "watchdog: no cluster progress for %d windows of %.0f us (progress=%d, %d/%d kernels done) at %.3f us\n",
+	fmt.Fprintf(&b, "watchdog: no cluster progress for %d windows of %.0f us (progress=%d, %d/%d kernels done, %d dead) at %.3f us\n",
 		cl.wdStrikes, cl.cfg.WatchdogPeriod.Microseconds(), p,
-		cl.doneCount, len(cl.members), eng.Now().Microseconds())
+		cl.doneCount, len(cl.members), cl.deadCount, eng.Now().Microseconds())
 	for _, m := range cl.members {
 		if k := cl.kernels[m]; k != nil {
 			fmt.Fprintf(&b, "  %s\n", k.DebugString())
@@ -251,6 +263,68 @@ func (cl *Cluster) fireWatchdog(p uint64) {
 	cl.wdReport = b.String()
 	cl.chip.Tracer().Emit(eng.Now(), -1, trace.KindWatchdog, uint64(cl.wdStrikes), p)
 	eng.Stop()
+}
+
+// finished reports whether every member has either completed its main or
+// crash-halted — the cluster's termination condition.
+func (cl *Cluster) finished() bool {
+	return cl.doneCount+cl.deadCount == len(cl.members)
+}
+
+// isDead reports whether member id has crash-halted. Host-side read; always
+// false without crash faults, so barrier conditions may consult it freely.
+func (cl *Cluster) isDead(id int) bool {
+	k := cl.kernels[id]
+	return k != nil && k.dead
+}
+
+// DeadCount returns the number of members that crash-halted before
+// finishing.
+func (cl *Cluster) DeadCount() int { return cl.deadCount }
+
+// --- Crash faults ---------------------------------------------------------
+
+// ScheduleCrash arranges for member id to crash-halt at absolute simulated
+// time at: the core stops executing forever, its liveness bit latches in
+// the chip's register, and every survivor blocked on it is woken to
+// re-evaluate. Call before the engine runs (or from engine context).
+func (cl *Cluster) ScheduleCrash(id int, at sim.Time) {
+	cl.chip.Engine().At(at, func() { cl.crash(id) })
+}
+
+// ScheduleCrashAfterDone arranges for member id to crash-halt d after its
+// kernel main returns — the "owner dies right after producing data others
+// still need" schedule. A member that never finishes never fires it.
+func (cl *Cluster) ScheduleCrashAfterDone(id int, d sim.Duration) {
+	if cl.crashAfterDone == nil {
+		cl.crashAfterDone = make(map[int]sim.Duration)
+	}
+	cl.crashAfterDone[id] = d
+}
+
+// crash is the crash event body; it runs in engine context, where the
+// victim is parked (only one proc executes at a time), so the halt is a
+// clean cut between two of its instructions.
+func (cl *Cluster) crash(id int) {
+	k := cl.kernels[id]
+	if k == nil || k.dead {
+		return
+	}
+	k.dead = true
+	cl.chip.MarkCrashed(id)
+	k.core.Proc().Halt()
+	finished := uint64(0)
+	if k.done {
+		finished = 1 // already counted in doneCount
+	} else {
+		cl.deadCount++
+	}
+	now := cl.chip.Engine().Now()
+	cl.chip.Tracer().Emit(now, id, trace.KindCrash, finished, 0)
+	// Wake everyone the corpse could be blocking: senders stuck on its
+	// slots, barrier partners waiting for its notification, service tails
+	// recounting the cluster.
+	cl.mb.NoteCrashed(id, now)
 }
 
 // Chip returns the platform.
@@ -295,7 +369,10 @@ func (cl *Cluster) Start(id int, main func(*Kernel)) *Kernel {
 		main(k)
 		k.done = true
 		cl.doneCount++
-		if cl.doneCount == len(cl.members) {
+		if d, ok := cl.crashAfterDone[id]; ok {
+			cl.ScheduleCrash(id, c.Proc().LocalTime()+d)
+		}
+		if cl.finished() {
 			// Last one out wakes every kernel parked in its service tail.
 			for _, m := range cl.members {
 				if m != id {
@@ -306,7 +383,7 @@ func (cl *Cluster) Start(id int, main func(*Kernel)) *Kernel {
 		}
 		// Service tail: keep answering mail (ownership requests, barrier
 		// notices from faster peers) until the whole cluster is done.
-		k.WaitFor(func() bool { return cl.doneCount == len(cl.members) })
+		k.WaitFor(func() bool { return cl.finished() })
 	})
 	if cl.cfg.TimerPeriod > 0 {
 		// Stagger the first tick per core: kernels do not boot in lockstep,
@@ -330,7 +407,7 @@ func (cl *Cluster) armTimer(k *Kernel) {
 	period := cl.cfg.TimerPeriod
 	jitter := sim.Duration(uint64(period) / 1000 * uint64(frac) / 8)
 	cl.chip.Engine().After(period-period/16+jitter, func() {
-		if k.done {
+		if k.done || k.dead {
 			return
 		}
 		k.core.PostInterrupt(cpu.IRQTimer)
@@ -360,6 +437,17 @@ func (k *Kernel) Members() []int { return k.cluster.members }
 
 // Stats returns a snapshot of the kernel counters.
 func (k *Kernel) Stats() Stats { return k.stats }
+
+// Finished reports whether the kernel's main has returned.
+func (k *Kernel) Finished() bool { return k.done }
+
+// Dead reports whether the kernel's core crash-halted.
+func (k *Kernel) Dead() bool { return k.dead }
+
+// SetTickHook installs fn to run on every timer tick on this kernel's
+// goroutine (after the tick's mail servicing) — the replicated directory's
+// failure detector. Nil disables it.
+func (k *Kernel) SetTickHook(fn func()) { k.tickHook = fn }
 
 // RegisterHandler installs the handler for a mail type. Installing twice
 // panics — handler wiring bugs should not hide.
@@ -435,6 +523,9 @@ func (k *Kernel) handleIRQ(c *cpu.Core, irq cpu.IRQ) {
 			// The kernel checks all receive buffers at every interrupt.
 			k.serviceAll()
 		}
+		if k.tickHook != nil {
+			k.tickHook()
+		}
 	case cpu.IRQIPI:
 		k.stats.IPIs++
 		// The GIC names the raising cores: check exactly those buffers.
@@ -484,20 +575,81 @@ func (k *Kernel) WaitFor(cond func() bool) {
 	}
 }
 
+// WaitUntil is WaitFor with a deadline in simulated time: it returns true
+// once cond() holds, or false when the deadline passes first, servicing
+// incoming mail the whole time. The replicated directory's client RPCs use
+// it — a request to a crashed manager must time out, not hang.
+func (k *Kernel) WaitUntil(cond func() bool, deadline sim.Time) bool {
+	k.cluster.prof.EnterIfIdle(k.id, profile.MailboxWait, k.core.Proc().LocalTime())
+	defer func() { k.cluster.prof.Exit(k.id, k.core.Proc().LocalTime()) }()
+	sig := k.cluster.mb.WaitAnySignal(k.id)
+	hardened := k.Chip().FaultsHardened()
+	for !cond() {
+		if k.core.Proc().LocalTime() >= deadline {
+			return false
+		}
+		seq := sig.Seq()
+		if k.cluster.cfg.Mode == mailbox.ModePolling {
+			if k.serviceAll() {
+				continue
+			}
+		} else if hardened {
+			if k.serviceAll() {
+				k.stats.Rescues++
+				continue
+			}
+		}
+		// Park with the deadline as a wake-up (bounded by the rescue period
+		// when hardened, like WaitFor), so the timeout is always observed.
+		at := deadline
+		if hardened && k.cluster.cfg.RescuePeriod > 0 {
+			if t := k.core.Proc().LocalTime() + k.cluster.cfg.RescuePeriod; t < at {
+				at = t
+			}
+		}
+		k.Chip().Engine().At(at, func() { sig.Fire(at) })
+		sig.WaitSeq(k.core.Proc(), seq)
+	}
+	return true
+}
+
 // Barrier synchronizes all cluster members with a dissemination barrier:
 // ceil(log2(n)) rounds of one mail each. Mail from partners that raced
 // ahead into the next barrier is accounted, not lost.
 func (k *Kernel) Barrier() {
+	k.BarrierGroup(k.cluster.members)
+}
+
+// BarrierGroup runs the dissemination barrier over group — a sorted subset
+// of the cluster members that includes this kernel. With group equal to the
+// full member list it is exactly Barrier (same partners, same mail, same
+// charges). Crash-halted partners are skipped: a dead core can neither send
+// its notification nor consume ours (the mailbox discards mail to it), so
+// the wait condition accepts the liveness register in place of the mail.
+func (k *Kernel) BarrierGroup(group []int) {
 	k.stats.Barriers++
 	k.Chip().Tracer().Emit(k.core.Now(), k.id, trace.KindBarrier, k.stats.Barriers, 0)
 	k.cluster.prof.Enter(k.id, profile.BarrierWait, k.core.Proc().LocalTime())
-	n := len(k.cluster.members)
+	n := len(group)
+	pos := -1
+	for i, m := range group {
+		if m == k.id {
+			pos = i
+		}
+	}
+	if pos < 0 {
+		panic(fmt.Sprintf("kernel %d: BarrierGroup over %v excludes self", k.id, group))
+	}
 	for r := 1; r < n; r <<= 1 {
-		to := k.cluster.members[(k.idx+r)%n]
-		from := k.cluster.members[(k.idx-r+n)%n]
+		to := group[(pos+r)%n]
+		from := group[(pos-r+n)%n]
 		k.Send(to, MsgBarrier, nil)
-		k.WaitFor(func() bool { return k.barrierSeen[from] > k.barrierUsed[from] })
-		k.barrierUsed[from]++
+		k.WaitFor(func() bool {
+			return k.barrierSeen[from] > k.barrierUsed[from] || k.cluster.isDead(from)
+		})
+		if k.barrierSeen[from] > k.barrierUsed[from] {
+			k.barrierUsed[from]++
+		}
 	}
 	if h := k.cluster.barrierHook; h != nil {
 		h(k.id, k.core.Now())
@@ -513,6 +665,9 @@ func (k *Kernel) handleBarrierMail(_ *Kernel, m mailbox.Msg) {
 // DebugString summarizes internal wait state for diagnostics.
 func (k *Kernel) DebugString() string {
 	s := fmt.Sprintf("kernel %d: barriers=%d done=%v seen/used:", k.id, k.stats.Barriers, k.done)
+	if k.dead {
+		s = fmt.Sprintf("kernel %d: DEAD barriers=%d done=%v seen/used:", k.id, k.stats.Barriers, k.done)
+	}
 	for c := range k.barrierSeen {
 		if k.barrierSeen[c] != 0 || k.barrierUsed[c] != 0 {
 			s += fmt.Sprintf(" %d:%d/%d", c, k.barrierSeen[c], k.barrierUsed[c])

@@ -327,3 +327,78 @@ func TestPollingCostGrowsWithMembers(t *testing.T) {
 			big.Microseconds(), small.Microseconds())
 	}
 }
+
+// A partner that crash-halts must not wedge the barrier: the dissemination
+// rounds accept the liveness register in place of the dead peer's mail, and
+// the survivors still synchronize with each other.
+func TestBarrierSkipsDeadPeer(t *testing.T) {
+	members := []int{0, 1, 2, 3}
+	eng, cl := newCluster(t, mailbox.ModeIPI, members)
+	const victim = 2
+	arrive := make(map[int]sim.Time)
+	leave := make(map[int]sim.Time)
+	for i, id := range members {
+		id, i := id, i
+		cl.Start(id, func(k *Kernel) {
+			if id == victim {
+				// Park until the scheduled crash cuts this off for good.
+				k.WaitFor(func() bool { return false })
+			}
+			// Skew arrivals so the barrier has to actually wait, and make
+			// every survivor arrive after the crash.
+			k.Core().Proc().Advance(sim.Microseconds(float64(20 + i*30)))
+			k.Core().Sync()
+			arrive[id] = k.Core().Now()
+			k.Barrier()
+			leave[id] = k.Core().Now()
+		})
+	}
+	cl.ScheduleCrash(victim, sim.Microseconds(10))
+	eng.Run()
+	eng.Shutdown()
+	if !cl.Kernel(victim).Dead() || cl.DeadCount() != 1 {
+		t.Fatalf("victim not dead: dead=%v count=%d", cl.Kernel(victim).Dead(), cl.DeadCount())
+	}
+	if len(leave) != len(members)-1 {
+		t.Fatalf("survivors through the barrier: %v", leave)
+	}
+	var maxArrive sim.Time
+	for _, at := range arrive {
+		if at > maxArrive {
+			maxArrive = at
+		}
+	}
+	for id, lt := range leave {
+		if lt < maxArrive {
+			t.Fatalf("core %d left the barrier at %v before the last survivor arrived at %v",
+				id, lt.Microseconds(), maxArrive.Microseconds())
+		}
+	}
+}
+
+// A member crashing while parked inside the barrier must release partners
+// that would otherwise wait for its next-round notification forever.
+func TestBarrierCrashMidBarrier(t *testing.T) {
+	members := []int{0, 1, 2, 3}
+	eng, cl := newCluster(t, mailbox.ModeIPI, members)
+	const victim = 3
+	done := 0
+	for i, id := range members {
+		id, i := id, i
+		cl.Start(id, func(k *Kernel) {
+			if id != victim {
+				// The victim arrives first and dies waiting for partners.
+				k.Core().Proc().Advance(sim.Microseconds(float64(100 + i*30)))
+				k.Core().Sync()
+			}
+			k.Barrier()
+			done++
+		})
+	}
+	cl.ScheduleCrash(victim, sim.Microseconds(50))
+	eng.Run()
+	eng.Shutdown()
+	if done != len(members)-1 {
+		t.Fatalf("%d survivors passed the barrier, want %d", done, len(members)-1)
+	}
+}

@@ -157,6 +157,7 @@ type Stats struct {
 	CorruptDrops uint64 // frames discarded on checksum mismatch
 	DupFrames    uint64 // stale duplicate redeliveries discarded
 	ShortFrames  uint64 // frames discarded on impossible length
+	DeadDrops    uint64 // sends discarded because the receiver crashed
 }
 
 // pendingMail is the hardened sender's retransmission buffer for the last
@@ -278,6 +279,17 @@ func frameSum(line *[phys.CacheLine]byte) uint16 {
 // slot still holds an unconsumed mail. It runs on from's goroutine.
 func (s *System) Send(from, to int, typ byte, payload []byte) {
 	s.checkPair(to, from)
+	// The kernel consults its cached copy of the liveness register before
+	// committing a send: mail for a crashed core would sit in a slot nobody
+	// ever drains and wedge this sender's next send to it forever. The
+	// charge models the (cheap) register check; the mail itself is
+	// discarded. CoreCrashed is always false on machines without crash
+	// faults, so the branch perturbs nothing.
+	if s.chip.CoreCrashed(to) {
+		s.stats.DeadDrops++
+		s.chip.MPBCharge(from, to)
+		return
+	}
 	if s.chip.FaultsHardened() {
 		s.sendHardened(from, to, typ, payload)
 		return
@@ -298,6 +310,12 @@ func (s *System) Send(from, to int, typ byte, payload []byte) {
 	prevIRQ := core.InterruptsEnabled()
 	defer core.SetInterruptsEnabled(prevIRQ)
 	for {
+		// Re-check liveness each round: the receiver may crash while we
+		// wait on a slot it will never drain.
+		if s.chip.CoreCrashed(to) {
+			s.stats.DeadDrops++
+			return
+		}
 		core.SetInterruptsEnabled(false)
 		// Probe: has the receiver consumed the previous mail?
 		if s.chip.MPBByte(from, to, off) == 0 {
@@ -348,6 +366,10 @@ func (s *System) sendHardened(from, to int, typ byte, payload []byte) {
 	prevIRQ := core.InterruptsEnabled()
 	defer core.SetInterruptsEnabled(prevIRQ)
 	for {
+		if s.chip.CoreCrashed(to) {
+			s.stats.DeadDrops++
+			return
+		}
 		core.SetInterruptsEnabled(false)
 		var slot [phys.CacheLine]byte
 		s.chip.MPBRead(from, to, off, slot[:])
@@ -493,6 +515,14 @@ func (s *System) armRetx(from, to int, seq uint16, start sim.Time) {
 		pend := &s.pending[p]
 		if !pend.active || pend.seq != seq {
 			return // superseded: the sender observed the acknowledgement
+		}
+		if s.chip.CoreCrashed(to) {
+			// The receiver crashed: retransmitting to it would keep the
+			// event queue alive forever. Retire the timer and the pending
+			// mail; the sender's next send to this pair starts fresh.
+			pend.active = false
+			s.stats.DeadDrops++
+			return
 		}
 		var line [phys.CacheLine]byte
 		s.chip.MPB().Read(to, off, line[:])
@@ -675,6 +705,23 @@ func (s *System) HasMail(receiver, sender int) bool {
 // the receiver — the poll-mode idle loop parks on it.
 func (s *System) WaitAnySignal(receiver int) *sim.Signal { return s.anyFull[receiver] }
 
+// NoteCrashed wakes everyone the crashed core could be blocking: senders
+// parked on its receive slots (which it will never drain) and waiters
+// parked on mail or acknowledgements from it. Each woken party re-checks
+// its condition against the liveness register and gives up or recovers.
+// Called from engine context by the kernel's crash event.
+func (s *System) NoteCrashed(id int, at sim.Time) {
+	for other := 0; other < s.n; other++ {
+		if other == id {
+			continue
+		}
+		s.freeSig[s.pair(id, other)].Fire(at) // senders blocked sending to id
+		s.freeSig[s.pair(other, id)].Fire(at) // (symmetry; id's own sends are moot)
+		s.fullSig[s.pair(other, id)].Fire(at) // waiters on a reply from id
+		s.anyFull[other].Fire(at)             // kernel WaitFor scans
+	}
+}
+
 // FullSignal returns the per-pair deposit signal (kernels waiting for a
 // specific reply park on it).
 func (s *System) FullSignal(receiver, sender int) *sim.Signal {
@@ -687,9 +734,9 @@ func (s *System) FullSignal(receiver, sender int) *sim.Signal {
 // dump. Functional reads only; charges no simulated time.
 func (s *System) DumpInFlight(w io.Writer) {
 	st := s.stats
-	fmt.Fprintf(w, "mailbox: %d sends %d recvs %d busy-waits | recovery: %d retransmits %d renudges %d corrupt %d dup %d short\n",
+	fmt.Fprintf(w, "mailbox: %d sends %d recvs %d busy-waits | recovery: %d retransmits %d renudges %d corrupt %d dup %d short %d dead\n",
 		st.Sends, st.Recvs, st.BusyWaits, st.Retransmits, st.Renudges,
-		st.CorruptDrops, st.DupFrames, st.ShortFrames)
+		st.CorruptDrops, st.DupFrames, st.ShortFrames, st.DeadDrops)
 	mpb := s.chip.MPB()
 	for to := 0; to < s.n; to++ {
 		for from := 0; from < s.n; from++ {

@@ -139,6 +139,12 @@ type Chip struct {
 	// the issuing core reads its slot right after its own bus call.
 	lastMesh []sim.Duration
 
+	// crashed models the system FPGA's core-liveness register file: one
+	// sticky bit per core, set when the core crash-halts. Host-side reads
+	// via CoreCrashed are free (the kernel caches the register); ProbeAlive
+	// is the charged in-simulation read.
+	crashed []bool
+
 	meshStats MeshStats
 }
 
@@ -194,10 +200,43 @@ func (ch *Chip) SetFaultInjector(in *faults.Injector, harden bool) {
 // methods accept nil receivers).
 func (ch *Chip) FaultInjector() *faults.Injector { return ch.faults }
 
+// Harden selects the fault-tolerant protocol variants without installing an
+// injector (no faults are injected). The replicated ownership directory
+// requires this even on fault-free runs: its managers send from their
+// interrupt handlers, which is deadlock-free only under the hardened
+// send/wait paths that drain the sender's own inbox while blocked.
+func (ch *Chip) Harden() { ch.harden = true }
+
 // FaultsHardened reports whether the fault-tolerant protocol variants are
-// selected. Always false without an injector, so plain runs keep the plain
-// protocols bit for bit.
+// selected. Always false without an injector or an explicit Harden call, so
+// plain runs keep the plain protocols bit for bit.
 func (ch *Chip) FaultsHardened() bool { return ch.harden }
+
+// MarkCrashed latches core id's bit in the liveness register. Idempotent;
+// the first latch is counted as an injected crash fault.
+func (ch *Chip) MarkCrashed(id int) {
+	if ch.crashed[id] {
+		return
+	}
+	ch.crashed[id] = true
+	ch.faults.NoteCrash()
+}
+
+// CoreCrashed reports whether core id has crash-halted. This is the free
+// host-side read of the liveness register (every kernel caches it); it is
+// safe to consult on fault-free machines, where it is always false.
+func (ch *Chip) CoreCrashed(id int) bool { return ch.crashed[id] }
+
+// ProbeAlive is the charged in-simulation read of target's liveness bit on
+// behalf of core: a register access in the system FPGA, priced like a
+// test-and-set (register cost plus a mesh round trip to the FPGA tile).
+func (ch *Chip) ProbeAlive(core, target int) bool {
+	ch.countHops(ch.gicHops(core))
+	ch.meshStats.TASAccesses++
+	ch.syncCharge(core, ch.coreClock().Cycles(ch.cfg.Lat.TASCoreCycles)+
+		ch.mesh.RoundTrip(ch.gicHops(core)))
+	return !ch.crashed[target]
+}
 
 // New builds a chip for the engine.
 func New(eng *sim.Engine, cfg Config) (*Chip, error) {
@@ -229,6 +268,7 @@ func New(eng *sim.Engine, cfg Config) (*Chip, error) {
 		gic:      gic.New(n),
 		cores:    make([]*cpu.Core, n),
 		lastMesh: make([]sim.Duration, n),
+		crashed:  make([]bool, n),
 	}
 	// MPB layout: n mailbox slots of one line each, then the scratchpad
 	// (16-bit entry per shared page, distributed round-robin over cores).

@@ -58,6 +58,12 @@ type Proc struct {
 	// wakeSeq guards against stale wake events: each park increments it, and
 	// a wake event only resumes the proc if it still matches.
 	wakeSeq uint64
+
+	// halted marks a crashed process: it stays parked forever and every
+	// dispatch attempt (wake, sync event, initial start) is ignored. Unlike
+	// procDone the goroutine may still exist, parked; Engine.Shutdown
+	// unwinds it like any other parked proc.
+	halted bool
 }
 
 // NewProc creates a process that will start executing body at time start.
@@ -107,9 +113,27 @@ func (p *Proc) SetPreWaitHook(fn func() bool) { p.preWaitHook = fn }
 // Done reports whether the process body has returned.
 func (p *Proc) Done() bool { return p.state == procDone }
 
+// Halt permanently stops the process: it models a crashed core. The call
+// must be made from the engine goroutine (an event callback) while the
+// process is parked, waiting, or not yet started; from then on every
+// dispatch attempt is ignored and the body never runs again. Halting a
+// finished process is a no-op.
+func (p *Proc) Halt() {
+	if p.state == procDone {
+		return
+	}
+	p.halted = true
+}
+
+// Halted reports whether the process was crash-halted.
+func (p *Proc) Halted() bool { return p.halted }
+
 // dispatch hands control to the proc goroutine and waits for it to park.
 // It runs on the engine goroutine, inside an event callback.
 func (p *Proc) dispatch() {
+	if p.halted {
+		return
+	}
 	switch p.state {
 	case procDone:
 		return

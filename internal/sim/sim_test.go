@@ -180,6 +180,52 @@ func TestWaitWake(t *testing.T) {
 	}
 }
 
+func TestHaltStopsProcForever(t *testing.T) {
+	e := NewEngine()
+	steps := 0
+	p := e.NewProc("victim", 0, func(p *Proc) {
+		for {
+			steps++
+			p.Advance(100)
+			p.Sync()
+		}
+	})
+	e.At(1000, func() { p.Halt() })
+	e.Run()
+	if !p.Halted() {
+		t.Fatal("proc not marked halted")
+	}
+	if p.Done() {
+		t.Fatal("a halted proc must not count as done")
+	}
+	// The loop syncs at t=100..1000; the halt at t=1000 runs before the
+	// proc's own sync event at the same timestamp resumes it, so the body
+	// stops after the 10 steps already taken and never runs again.
+	if steps != 10 {
+		t.Fatalf("body took %d steps, want 10", steps)
+	}
+	// Waking a halted proc must be ignored, not resume the body.
+	e.At(2000, func() { p.Wake(2000) })
+	e.RunUntil(3000)
+	if steps != 10 {
+		t.Fatalf("halted proc ran again: %d steps", steps)
+	}
+	e.Shutdown()
+}
+
+func TestHaltFinishedProcIsNoOp(t *testing.T) {
+	e := NewEngine()
+	p := e.NewProc("done", 0, func(p *Proc) { p.Advance(10) })
+	e.Run()
+	p.Halt()
+	if p.Halted() {
+		t.Fatal("halting a finished proc must be a no-op")
+	}
+	if !p.Done() {
+		t.Fatal("proc should be done")
+	}
+}
+
 func TestStaleWakeIgnored(t *testing.T) {
 	e := NewEngine()
 	wakes := 0

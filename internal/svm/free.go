@@ -47,23 +47,15 @@ func (h *Handle) Free(base uint32) {
 	}
 	// Everyone must have unmapped before the frames are recycled, or a
 	// straggler could still read a frame that a new allocation reuses.
-	h.k.Barrier()
+	h.groupBarrier()
 
-	// One member returns the frames and scrubs the metadata.
-	if h.k.Index() == 0 {
+	// One worker returns the frames and scrubs the directory records.
+	if h.Rank() == 0 {
 		for i := uint32(0); i < r.pages; i++ {
 			idx := first + i
-			frame := s.scratchReadQuiet(idx)
+			frame := s.dir.ReleasePage(h, idx)
 			if frame == 0 {
 				continue // never materialized
-			}
-			s.scratchWrite(h.k.ID(), idx, 0)
-			if s.cfg.Model == Strong {
-				s.chip.PhysWrite32(h.k.ID(), s.ownerAddr(idx), 0)
-			}
-			if s.nextTouch.armed > 0 && s.chip.PhysRead32(h.k.ID(), s.migrateAddr(idx)) != 0 {
-				s.chip.PhysWrite32(h.k.ID(), s.migrateAddr(idx), 0)
-				s.nextTouch.armed--
 			}
 			s.alloc.Free(frame)
 		}
@@ -72,7 +64,7 @@ func (h *Handle) Free(base uint32) {
 			s.mem.RegionFreed(h.k.ID(), r.base, r.pages)
 		}
 	}
-	h.k.Barrier()
+	h.groupBarrier()
 }
 
 // LiveRegions reports the number of live (not freed) collective

@@ -8,6 +8,7 @@ import (
 	"metalsvm/internal/mailbox"
 	"metalsvm/internal/pgtable"
 	"metalsvm/internal/profile"
+	"metalsvm/internal/sim"
 	"metalsvm/internal/trace"
 )
 
@@ -39,9 +40,10 @@ type Handle struct {
 	allocSeq int // how many collective allocations this kernel has seen
 
 	// Fault-protocol state, mutated by mail handlers.
-	acks    map[uint32]int  // ownership acks received per page
-	retries map[uint32]int  // retry notices received per page
-	inFault map[uint32]bool // pages this kernel is currently acquiring
+	acks     map[uint32]int    // ownership acks received per page
+	ackEpoch map[uint32]uint32 // epoch carried by the last ack per page
+	retries  map[uint32]int    // retry notices received per page
+	inFault  map[uint32]bool   // pages this kernel is currently acquiring
 	// ownerRetryRounds drives the hardened exponential backoff per page
 	// while an acquisition keeps being answered with retries.
 	ownerRetryRounds map[uint32]int
@@ -61,6 +63,7 @@ func (s *System) Attach(k *kernel.Kernel) *Handle {
 		sys:              s,
 		k:                k,
 		acks:             make(map[uint32]int),
+		ackEpoch:         make(map[uint32]uint32),
 		retries:          make(map[uint32]int),
 		inFault:          make(map[uint32]bool),
 		ownerRetryRounds: make(map[uint32]int),
@@ -69,6 +72,7 @@ func (s *System) Attach(k *kernel.Kernel) *Handle {
 	k.RegisterHandler(msgOwnerReq, h.handleOwnerReq)
 	k.RegisterHandler(msgOwnerAck, func(_ *kernel.Kernel, m mailbox.Msg) {
 		h.acks[m.U32(0)]++
+		h.ackEpoch[m.U32(0)] = m.U32(1) // zero for legacy 4-byte acks
 	})
 	k.RegisterHandler(msgOwnerRetry, func(_ *kernel.Kernel, m mailbox.Msg) {
 		h.retries[m.U32(0)]++
@@ -87,6 +91,36 @@ func (h *Handle) Stats() Stats { return h.stats }
 
 // System returns the cluster-wide SVM system.
 func (h *Handle) System() *System { return h.sys }
+
+// Workers returns the SVM collective participants (see Config.Workers).
+func (h *Handle) Workers() []int { return h.sys.workers }
+
+// Rank returns this kernel's position in the worker group, or -1 if the
+// kernel is not a worker. With the default worker set (every cluster
+// member) this equals the kernel's cluster index.
+func (h *Handle) Rank() int {
+	for i, id := range h.sys.workers {
+		if id == h.k.ID() {
+			return i
+		}
+	}
+	return -1
+}
+
+// KernelBarrier rendezvouses the worker group without the consistency
+// actions of Barrier — the drop-in replacement for kernel.Barrier in
+// applications that must not wait on non-worker cores (the replicated
+// directory's managers never enter application barriers).
+func (h *Handle) KernelBarrier() { h.groupBarrier() }
+
+// groupBarrier synchronizes the worker group (all members by default, in
+// which case it is exactly the cluster barrier).
+func (h *Handle) groupBarrier() { h.k.BarrierGroup(h.sys.workers) }
+
+// CountFirstTouch and CountMapExisting bump the fault-path placement
+// counters on behalf of an external directory implementation.
+func (h *Handle) CountFirstTouch()  { h.stats.FirstTouches++ }
+func (h *Handle) CountMapExisting() { h.stats.MapExisting++ }
 
 // DebugString summarizes protocol wait state for diagnostics.
 func (h *Handle) DebugString() string {
@@ -122,7 +156,7 @@ func (h *Handle) Alloc(bytes uint32) uint32 {
 	h.allocSeq++
 	// Per-page bookkeeping cost, then the collective barrier.
 	h.k.Core().Cycles(h.sys.cfg.AllocPageCycles * uint64(pages))
-	h.k.Barrier()
+	h.groupBarrier()
 	return r.base
 }
 
@@ -165,41 +199,15 @@ func (h *Handle) handleFault(vaddr uint32, write bool, e pgtable.Entry) {
 	h.acquireOwnership(idx, page)
 }
 
-// firstTouch resolves the page's frame through the scratchpad directory,
+// firstTouch resolves the page's frame through the ownership directory,
 // allocating (and zeroing) a frame near this core if nobody has yet, and
 // maps the page. It reports whether this core performed the allocation
 // (and, in the strong model, therefore owns the page).
 func (h *Handle) firstTouch(idx, page uint32) (allocated bool) {
 	s := h.sys
-	me := h.k.ID()
 	layout := s.chip.Layout()
 
-	s.scratchLock(h, idx)
-	frame := s.scratchRead(me, idx)
-	if frame == 0 {
-		mc := layout.ControllerOfCore(me)
-		sf, ok := s.alloc.Alloc(mc)
-		if !ok {
-			s.scratchUnlock(h, idx)
-			panic("svm: shared memory exhausted")
-		}
-		h.k.Core().Cycles(s.cfg.FrameAllocCycles)
-		s.chip.ZeroSharedFrame(me, layout.SharedFrameAddr(sf))
-		s.scratchWrite(me, idx, sf)
-		if s.cfg.Model == Strong {
-			s.writeOwner(me, idx, me)
-		}
-		frame = sf
-		allocated = true
-		h.stats.FirstTouches++
-		s.chip.Tracer().Emit(h.k.Core().Now(), me, trace.KindFirstTouch, uint64(idx), uint64(sf))
-	} else {
-		h.stats.MapExisting++
-		// Affinity-on-next-touch: if the page is armed for migration, this
-		// touch moves its frame near us (still under the scratchpad lock).
-		frame = h.maybeMigrate(idx, frame)
-	}
-	s.scratchUnlock(h, idx)
+	frame, allocated := s.dir.FirstTouch(h, idx)
 
 	paddr := layout.SharedFrameAddr(frame)
 	var flags pgtable.Flags
@@ -219,6 +227,12 @@ func (h *Handle) firstTouch(idx, page uint32) (allocated bool) {
 	return allocated
 }
 
+// ownerAckTimeoutUS bounds how long a replicated-directory requester waits
+// for an ownership ack before probing the owner's liveness. The legacy
+// single-copy directory waits unboundedly (a silent peer there means the
+// simulation is wedged anyway, and the watchdog reports it).
+const ownerAckTimeoutUS = 500
+
 // acquireOwnership runs the requester side of the strong model's transfer.
 func (h *Handle) acquireOwnership(idx, page uint32) {
 	s := h.sys
@@ -228,19 +242,23 @@ func (h *Handle) acquireOwnership(idx, page uint32) {
 		delete(h.inFault, idx)
 		delete(h.ownerRetryRounds, idx)
 	}()
+	mapMine := func() {
+		h.k.Core().Cycles(s.cfg.MapCycles)
+		h.k.Core().Table.Update(page, func(e *pgtable.Entry) {
+			e.Flags |= pgtable.Present | pgtable.Writable
+		})
+	}
 	for {
-		owner := s.readOwner(me, idx)
+		owner := s.dir.Owner(h, idx)
 		switch owner {
 		case me:
 			// Transfer completed (ack handler may even have raced ahead).
-			h.k.Core().Cycles(s.cfg.MapCycles)
-			h.k.Core().Table.Update(page, func(e *pgtable.Entry) {
-				e.Flags |= pgtable.Present | pgtable.Writable
-			})
+			mapMine()
 			// Consume a pending ack if one is queued for this page.
 			if h.acks[idx] > 0 {
 				h.acks[idx]--
 			}
+			s.dir.NoteAcquired(h, idx)
 			if s.hook != nil {
 				s.hook.OwnershipAcquired(me, idx)
 			}
@@ -255,15 +273,45 @@ func (h *Handle) acquireOwnership(idx, page uint32) {
 		mailbox.PutU32(p[:], 0, idx)
 		mailbox.PutU32(p[:], 1, uint32(me))
 		h.k.Send(owner, msgOwnerReq, p[:])
-		h.k.WaitFor(func() bool {
+		answered := func() bool {
 			return h.acks[idx] > acks || h.retries[idx] > retries
-		})
+		}
+		if !s.dir.Replicated() {
+			h.k.WaitFor(answered)
+		} else if !h.k.WaitUntil(answered, h.k.Core().Proc().LocalTime()+sim.Microseconds(ownerAckTimeoutUS)) {
+			// No answer within the timeout. Probe the owner's liveness bit
+			// in the system FPGA: a slow owner gets more patience, a dead
+			// one triggers directory-driven reclamation.
+			if s.chip.ProbeAlive(me, owner) {
+				h.ownerRetryBackoff(idx)
+				continue
+			}
+			if s.dir.ReclaimDead(h, idx, owner) {
+				mapMine()
+				s.dir.NoteAcquired(h, idx)
+				if s.hook != nil {
+					s.hook.OwnershipAcquired(me, idx)
+				}
+				return
+			}
+			// A racer reclaimed first (or the owner resurfaced to the
+			// directory): re-read the owner and try again.
+			continue
+		}
 		if h.acks[idx] > acks {
 			h.acks[idx]--
-			h.k.Core().Cycles(s.cfg.MapCycles)
-			h.k.Core().Table.Update(page, func(e *pgtable.Entry) {
-				e.Flags |= pgtable.Present | pgtable.Writable
-			})
+			if s.dir.Replicated() {
+				// The previous owner yielded; commit the handoff at the
+				// directory, fenced by the epoch the ack carried. (Done here
+				// rather than in the owner's handler because this runs at
+				// top level, where a directory RPC can park safely.)
+				if !s.dir.TakeOwnership(h, idx, owner, h.ackEpoch[idx]) {
+					// Fenced: the record moved on under us; re-read it.
+					continue
+				}
+			}
+			mapMine()
+			s.dir.NoteAcquired(h, idx)
 			if s.hook != nil {
 				s.hook.OwnershipAcquired(me, idx)
 			}
@@ -274,18 +322,24 @@ func (h *Handle) acquireOwnership(idx, page uint32) {
 		// exponentially so a lost acknowledgement cannot turn into a
 		// request storm against the recovering owner.
 		h.retries[idx]--
-		backoff := uint64(500)
-		if h.sys.chip.FaultsHardened() {
-			shift := h.ownerRetryRounds[idx]
-			if shift > 5 {
-				shift = 5
-			}
-			backoff <<= shift
-			h.ownerRetryRounds[idx]++
-			h.stats.OwnerBackoffs++
-		}
-		h.k.Core().Cycles(backoff)
+		h.ownerRetryBackoff(idx)
 	}
+}
+
+// ownerRetryBackoff charges the requester's retry backoff: constant in plain
+// runs, exponential per page under hardened fault injection.
+func (h *Handle) ownerRetryBackoff(idx uint32) {
+	backoff := uint64(500)
+	if h.sys.chip.FaultsHardened() {
+		shift := h.ownerRetryRounds[idx]
+		if shift > 5 {
+			shift = 5
+		}
+		backoff <<= shift
+		h.ownerRetryRounds[idx]++
+		h.stats.OwnerBackoffs++
+	}
+	h.k.Core().Cycles(backoff)
 }
 
 // handleOwnerReq runs on the owner side: revoke, flush, hand over, ack.
@@ -308,6 +362,10 @@ func (h *Handle) handleOwnerReq(_ *kernel.Kernel, m mailbox.Msg) {
 		var p [4]byte
 		mailbox.PutU32(p[:], 0, idx)
 		h.k.Send(requester, msgOwnerRetry, p[:])
+		return
+	}
+	if s.dir.Replicated() {
+		h.handleOwnerReqReplicated(idx, requester, page)
 		return
 	}
 	owner := s.readOwner(me, idx)
@@ -347,6 +405,47 @@ func (h *Handle) handleOwnerReq(_ *kernel.Kernel, m mailbox.Msg) {
 	h.k.Send(requester, msgOwnerAck, p[:])
 }
 
+// handleOwnerReqReplicated is the owner side of the strong model's transfer
+// when the replicated directory is in charge. The owner only yields its
+// local claim and acks with the page's epoch; the requester commits the
+// transfer at the directory itself. The commit cannot run here: this is a
+// mail handler, and a blocking directory RPC from inside it deadlocks the
+// mailbox slot graph (the manager's reply to our outer RPC can sit
+// unconsumed in our inbox while we park sending to the manager).
+func (h *Handle) handleOwnerReqReplicated(idx uint32, requester int, page uint32) {
+	s := h.sys
+	me := h.k.ID()
+	if !s.dir.OwnedLocally(h, idx) {
+		// Stale request: the requester read an outdated owner. Unlike the
+		// legacy forwarding chain there is an authoritative directory to
+		// re-consult, so bounce the requester back to it.
+		h.stats.Forwards++
+		var p [4]byte
+		mailbox.PutU32(p[:], 0, idx)
+		h.k.Send(requester, msgOwnerRetry, p[:])
+		return
+	}
+	h.stats.OwnerServed++
+	s.chip.Tracer().Emit(h.k.Core().Now(), me, trace.KindOwnerTransfer, uint64(idx), uint64(requester))
+	h.k.Core().Cycles(s.cfg.OwnershipServeCycles)
+	// Revoke our access, publish our writes, drop our cached lines.
+	if _, ok := h.k.Core().Table.Lookup(page); ok {
+		h.k.Core().Table.Update(page, func(e *pgtable.Entry) {
+			e.Flags &^= pgtable.Present | pgtable.Writable
+		})
+	}
+	h.k.Core().FlushWCB()
+	h.k.Core().CL1INVMB()
+	epoch := s.dir.YieldPage(h, idx)
+	if s.hook != nil {
+		s.hook.OwnershipTransferred(me, requester, idx)
+	}
+	var p [8]byte
+	mailbox.PutU32(p[:], 0, idx)
+	mailbox.PutU32(p[:], 1, epoch)
+	h.k.Send(requester, msgOwnerAck, p[:])
+}
+
 // --- Synchronization ------------------------------------------------------
 
 // Barrier synchronizes all members with the consistency actions the model
@@ -357,7 +456,7 @@ func (h *Handle) Barrier() {
 	s := h.sys
 	s.prof.Enter(h.k.ID(), profile.BarrierWait, h.k.Core().Proc().LocalTime())
 	h.k.Core().FlushWCB()
-	h.k.Barrier()
+	h.groupBarrier()
 	h.k.Core().CL1INVMB()
 	s.prof.Exit(h.k.ID(), h.k.Core().Proc().LocalTime())
 }
@@ -435,7 +534,7 @@ func (h *Handle) ProtectReadOnly(base, bytes uint32) {
 			s.mem.RegionProtected(h.k.ID(), pgtable.PageBase(base), pages)
 		}
 	}
-	h.k.Barrier()
+	h.groupBarrier()
 	h.k.Core().FlushWCB()
 	for i := uint32(0); i < pages; i++ {
 		idx := first + i
@@ -454,5 +553,5 @@ func (h *Handle) ProtectReadOnly(base, bytes uint32) {
 	// Lines cached under the MPBT type must go: their tag no longer
 	// matches the page type, and the L2 path will refill them.
 	h.k.Core().CL1INVMB()
-	h.k.Barrier()
+	h.groupBarrier()
 }

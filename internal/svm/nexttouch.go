@@ -57,6 +57,11 @@ func (h *Handle) NextTouch(base, bytes uint32) {
 	if s.inReadonly(first) {
 		panic(fmt.Sprintf("svm: NextTouch on read-only region %#x", base))
 	}
+	if s.dir.Replicated() {
+		// Migration rewrites the frame record behind the owner protocol's
+		// back; the replicated directory has no commit path for that yet.
+		panic("svm: NextTouch is not supported with the replicated directory")
+	}
 
 	// Publish pending writes, then drop our view of the region.
 	h.k.Core().FlushWCB()
@@ -73,9 +78,9 @@ func (h *Handle) NextTouch(base, bytes uint32) {
 		h.k.Core().CL1INVMB()
 	}
 
-	// The cluster's first member marks the pages (one uncached word store
-	// each); the closing barrier publishes the marks to everyone.
-	if h.k.Index() == 0 {
+	// The first worker marks the pages (one uncached word store each); the
+	// closing barrier publishes the marks to everyone.
+	if h.Rank() == 0 {
 		for i := uint32(0); i < pages; i++ {
 			idx := first + i
 			if s.scratchReadQuiet(idx) == 0 {
@@ -85,7 +90,7 @@ func (h *Handle) NextTouch(base, bytes uint32) {
 			s.nextTouch.armed++
 		}
 	}
-	h.k.Barrier()
+	h.groupBarrier()
 }
 
 // scratchReadQuiet is a host-side (uncharged) directory peek used only to

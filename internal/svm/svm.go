@@ -133,6 +133,11 @@ type Config struct {
 	// (the partitioning goal from the paper's introduction). Both zero
 	// means the whole shared region.
 	PageLo, PageHi uint32
+	// Workers names the cluster members that participate in SVM collective
+	// operations (Alloc, Barrier, Free, ...). Nil means every member. The
+	// replicated directory sets this to exclude its manager cores, which
+	// run the directory service but no application code.
+	Workers []int
 }
 
 // DefaultConfig returns the calibrated defaults for the given model.
@@ -182,6 +187,11 @@ type System struct {
 	lockSigs map[int]*sim.Signal
 
 	handles map[int]*Handle
+
+	// workers are the collective participants (see Config.Workers); dir is
+	// the ownership directory, legacy single-copy by default.
+	workers []int
+	dir     OwnerDirectory
 
 	hook SyncHook
 	mem  MemHook
@@ -237,6 +247,12 @@ func New(cl *kernel.Cluster, cfg Config) (*System, error) {
 		alloc:   phys.NewFrameAllocatorRange(layout, cfg.PageLo, cfg.PageHi),
 		handles: make(map[int]*Handle),
 	}
+	s.dir = &legacyDirectory{s: s}
+	if len(cfg.Workers) != 0 {
+		s.workers = append([]int(nil), cfg.Workers...)
+	} else {
+		s.workers = append([]int(nil), cl.Members()...)
+	}
 	s.nextPage = cfg.PageLo
 	pages := layout.SharedFrames()
 	reserve := func(bytes uint32, what string) (uint32, error) {
@@ -276,6 +292,30 @@ func New(cl *kernel.Cluster, cfg Config) (*System, error) {
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// Workers returns the SVM collective participants (see Config.Workers).
+func (s *System) Workers() []int { return s.workers }
+
+// Directory returns the ownership directory in use.
+func (s *System) Directory() OwnerDirectory { return s.dir }
+
+// SetDirectory replaces the ownership directory. Must be called before any
+// kernel attaches; the replicated directory installs itself through this.
+func (s *System) SetDirectory(d OwnerDirectory) {
+	if len(s.handles) != 0 {
+		panic("svm: SetDirectory after Attach")
+	}
+	s.dir = d
+}
+
+// AllocFrame allocates a shared frame near the given core's memory
+// controller, on behalf of an external directory implementation.
+func (s *System) AllocFrame(core int) (uint32, bool) {
+	return s.alloc.Alloc(s.chip.Layout().ControllerOfCore(core))
+}
+
+// FreeFrame returns a shared frame to the allocator (external directories).
+func (s *System) FreeFrame(sf uint32) { s.alloc.Free(sf) }
 
 // Handle returns the attached handle for a core (nil if never attached).
 func (s *System) Handle(core int) *Handle { return s.handles[core] }
@@ -456,6 +496,6 @@ func (s *System) DumpDiagnostics(w io.Writer) {
 		}
 		prev = idx
 		fmt.Fprintf(w, "  page %d owner vector: core %d\n",
-			idx, int(mem.Read32(s.ownerAddr(idx)))-1)
+			idx, s.dir.PeekOwner(idx))
 	}
 }

@@ -50,6 +50,18 @@ const (
 	// KindWatchdog: the cluster progress watchdog fired (Arg1 = consecutive
 	// frozen windows, Arg2 = progress count at the freeze).
 	KindWatchdog
+	// KindCrash: a core crash-halted permanently (Arg1 = 1 if its kernel
+	// main had already finished).
+	KindCrash
+	// KindDirCommit: the replicated directory committed an ownership op
+	// (Arg1 = page index, Arg2 = op number).
+	KindDirCommit
+	// KindDirFailover: a directory replica completed a view change and took
+	// over as primary (Arg1 = new view, Arg2 = op number carried over).
+	KindDirFailover
+	// KindDirReclaim: the directory revoked a dead owner's page and
+	// reassigned it (Arg1 = page index, Arg2 = new owner).
+	KindDirReclaim
 	kindCount
 )
 
@@ -57,6 +69,7 @@ var kindNames = [kindCount]string{
 	"fault", "first-touch", "owner-req", "owner-transfer",
 	"mail-send", "mail-recv", "barrier", "migration", "ipi",
 	"fault-inject", "retransmit", "watchdog",
+	"crash", "dir-commit", "dir-failover", "dir-reclaim",
 }
 
 func (k Kind) String() string {

@@ -29,6 +29,7 @@ import (
 	"metalsvm/internal/sancheck"
 	"metalsvm/internal/sim"
 	"metalsvm/internal/svm"
+	"metalsvm/internal/svm/repldir"
 	"metalsvm/internal/trace"
 )
 
@@ -157,6 +158,10 @@ const (
 	TraceFaultInject   = trace.KindFaultInject
 	TraceRetransmit    = trace.KindRetransmit
 	TraceWatchdog      = trace.KindWatchdog
+	TraceCrash         = trace.KindCrash
+	TraceDirCommit     = trace.KindDirCommit
+	TraceDirFailover   = trace.KindDirFailover
+	TraceDirReclaim    = trace.KindDirReclaim
 )
 
 // FaultConfig enables deterministic fault injection; pass a pointer through
@@ -182,6 +187,28 @@ func FaultPreset(name string) (FaultSpec, bool) { return faults.PresetSpec(name)
 // FaultPresets lists the named fault schedules shipped with the chaos
 // harness (sccbench -chaos seed[,spec]).
 func FaultPresets() []string { return faults.Presets() }
+
+// Crash is one scheduled permanent core crash in a fault schedule; the
+// sentinel core ids below resolve against the booted machine's role
+// assignment when the replicated directory is enabled.
+type Crash = faults.Crash
+
+// Sentinel crash targets: the initial primary directory manager, its first
+// backup, and the highest-numbered worker.
+const (
+	CrashPrimaryManager = faults.CrashPrimaryManager
+	CrashBackupManager  = faults.CrashBackupManager
+	CrashLastWorker     = faults.CrashLastWorker
+)
+
+// ReplicatedDirConfig configures the crash-fault-tolerant replicated
+// ownership directory; pass a pointer through Options.ReplicatedDirectory
+// (nil keeps the paper's single-copy directory bit for bit).
+type ReplicatedDirConfig = repldir.Config
+
+// ReplicatedDirStats counts the replicated directory's protocol events;
+// read it from Machine.Dir.Stats() after the run.
+type ReplicatedDirStats = repldir.Stats
 
 // TraceFilter returns the events matching every given predicate; combine
 // with TraceOnCore, TraceOfKind and TraceBetween.
