@@ -272,6 +272,13 @@ func sortedUnion(a, b []int) []int {
 // Sentinel entries are inert without the replicated directory, and entries
 // with no time are harness markers left for the benchmark driver to fill in.
 func (m *Machine) resolveCrashes(fc *faults.Config) {
+	if len(fc.Spec.Crashes) > 0 {
+		// Any crash entry — even a time-less harness marker that schedules
+		// nothing — switches the run's barriers to the crash-tolerant
+		// scheme, so calibration runs with inert entries stay bit-identical
+		// to the armed runs they calibrate.
+		m.Cluster.ArmCrashBarriers()
+	}
 	for _, c := range fc.Spec.Crashes {
 		id := c.Core
 		switch id {

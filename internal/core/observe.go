@@ -312,6 +312,9 @@ func (o *Observation) harvest() *metrics.Snapshot {
 		r.Counter("dir.view_changes").Add(ds.ViewChanges)
 		r.Counter("dir.reconstructions").Add(ds.Reconstructions)
 		r.Counter("dir.fenced").Add(ds.Fenced)
+		r.Counter("dir.orphan_reclaims").Add(ds.OrphanReclaims)
+		r.Counter("dir.fetch_retries").Add(ds.FetchRetries)
+		r.Counter("dir.fetch_aborts").Add(ds.FetchAborts)
 	}
 	if in := o.chip.FaultInjector(); in.Enabled() {
 		fs := in.Stats()

@@ -126,6 +126,12 @@ type Cluster struct {
 	// crashAfterDone holds crash delays applied when a member's main
 	// returns (ScheduleCrashAfterDone).
 	crashAfterDone map[int]sim.Duration
+	// crashesArmed records that a permanent crash has been scheduled (or
+	// that the machine's fault spec carries crash entries). BarrierGroup
+	// consults it to pick the crash-tolerant all-to-all rendezvous instead
+	// of the dissemination barrier; because crashes are armed before the
+	// engine runs, every member agrees on the scheme for the whole run.
+	crashesArmed bool
 
 	// prof, when set, receives bucket transitions from barrier and wait
 	// paths; it charges no simulated time.
@@ -289,13 +295,24 @@ func (cl *Cluster) DeadCount() int { return cl.deadCount }
 // the chip's register, and every survivor blocked on it is woken to
 // re-evaluate. Call before the engine runs (or from engine context).
 func (cl *Cluster) ScheduleCrash(id int, at sim.Time) {
+	cl.crashesArmed = true
 	cl.chip.Engine().At(at, func() { cl.crash(id) })
 }
+
+// ArmCrashBarriers switches every barrier of the run to the crash-tolerant
+// all-to-all rendezvous (see BarrierGroup) without scheduling a concrete
+// crash. The machine calls it when the fault spec carries crash entries —
+// including time-less harness markers — so a calibration run with inert
+// crash entries stays bit-identical to the armed run it calibrates. Must be
+// called before the first barrier; Schedule-Crash and ScheduleCrashAfterDone
+// arm implicitly.
+func (cl *Cluster) ArmCrashBarriers() { cl.crashesArmed = true }
 
 // ScheduleCrashAfterDone arranges for member id to crash-halt d after its
 // kernel main returns — the "owner dies right after producing data others
 // still need" schedule. A member that never finishes never fires it.
 func (cl *Cluster) ScheduleCrashAfterDone(id int, d sim.Duration) {
+	cl.crashesArmed = true
 	if cl.crashAfterDone == nil {
 		cl.crashAfterDone = make(map[int]sim.Duration)
 	}
@@ -620,12 +637,26 @@ func (k *Kernel) Barrier() {
 	k.BarrierGroup(k.cluster.members)
 }
 
-// BarrierGroup runs the dissemination barrier over group — a sorted subset
-// of the cluster members that includes this kernel. With group equal to the
-// full member list it is exactly Barrier (same partners, same mail, same
-// charges). Crash-halted partners are skipped: a dead core can neither send
-// its notification nor consume ours (the mailbox discards mail to it), so
-// the wait condition accepts the liveness register in place of the mail.
+// BarrierGroup runs a barrier over group — a sorted subset of the cluster
+// members that includes this kernel. With group equal to the full member
+// list it is exactly Barrier (same partners, same mail, same charges).
+//
+// Without crash faults armed this is the dissemination barrier:
+// ceil(log2(n)) rounds of one mail each. With crashes armed (ScheduleCrash,
+// ScheduleCrashAfterDone or ArmCrashBarriers), every barrier of the run is
+// instead an all-to-all rendezvous: notify every peer, wait on every peer,
+// accepting the latched liveness register in place of a dead peer's mail.
+// The dissemination rounds cannot simply skip dead partners: their
+// correctness is transitive — a member's exit depends on a distant peer only
+// through the chain of intermediate partners — so skipping the wait on a
+// crashed partner severs every chain through it, and a survivor can leave
+// the barrier before another survivor has arrived (in Free, that recycles
+// frames a straggler still reads). The all-to-all form needs no
+// transitivity: every survivor's exit depends on every other survivor's own
+// notification. It costs O(n²) mail, paid only on runs that can crash;
+// because arming happens before the engine runs, all members always agree
+// on the scheme and fault-free runs keep the dissemination barrier bit for
+// bit.
 func (k *Kernel) BarrierGroup(group []int) {
 	k.stats.Barriers++
 	k.Chip().Tracer().Emit(k.core.Now(), k.id, trace.KindBarrier, k.stats.Barriers, 0)
@@ -640,14 +671,14 @@ func (k *Kernel) BarrierGroup(group []int) {
 	if pos < 0 {
 		panic(fmt.Sprintf("kernel %d: BarrierGroup over %v excludes self", k.id, group))
 	}
-	for r := 1; r < n; r <<= 1 {
-		to := group[(pos+r)%n]
-		from := group[(pos-r+n)%n]
-		k.Send(to, MsgBarrier, nil)
-		k.WaitFor(func() bool {
-			return k.barrierSeen[from] > k.barrierUsed[from] || k.cluster.isDead(from)
-		})
-		if k.barrierSeen[from] > k.barrierUsed[from] {
+	if k.cluster.crashesArmed {
+		k.barrierCrashTolerant(group, pos)
+	} else {
+		for r := 1; r < n; r <<= 1 {
+			to := group[(pos+r)%n]
+			from := group[(pos-r+n)%n]
+			k.Send(to, MsgBarrier, nil)
+			k.WaitFor(func() bool { return k.barrierSeen[from] > k.barrierUsed[from] })
 			k.barrierUsed[from]++
 		}
 	}
@@ -655,6 +686,28 @@ func (k *Kernel) BarrierGroup(group []int) {
 		h(k.id, k.core.Now())
 	}
 	k.cluster.prof.Exit(k.id, k.core.Proc().LocalTime())
+}
+
+// barrierCrashTolerant is the all-to-all rendezvous used when permanent
+// crashes are armed. Sends are staggered around the ring so n members do
+// not all hammer the same slot first; a dead peer's mail is neither sent
+// (the mailbox discards it) nor awaited (the liveness register substitutes),
+// but mail a peer managed to send before dying is still consumed, keeping
+// the per-sender counters balanced for the next barrier.
+func (k *Kernel) barrierCrashTolerant(group []int, pos int) {
+	n := len(group)
+	for i := 1; i < n; i++ {
+		k.Send(group[(pos+i)%n], MsgBarrier, nil)
+	}
+	for i := 1; i < n; i++ {
+		from := group[(pos+i)%n]
+		k.WaitFor(func() bool {
+			return k.barrierSeen[from] > k.barrierUsed[from] || k.cluster.isDead(from)
+		})
+		if k.barrierSeen[from] > k.barrierUsed[from] {
+			k.barrierUsed[from]++
+		}
+	}
 }
 
 // installBarrierHandler is called lazily by Start via RegisterHandler.

@@ -402,3 +402,50 @@ func TestBarrierCrashMidBarrier(t *testing.T) {
 		t.Fatalf("%d survivors passed the barrier, want %d", done, len(members)-1)
 	}
 }
+
+// Dead partners must not sever the barrier's dependency chain. With cores 2
+// and 3 crashed before the barrier and core 1 arriving long after core 0,
+// every partner a dead-skip dissemination round of core 0 waits on (3 in
+// round 1, 2 in round 2) is dead — the scheme that merely skipped dead
+// partners let core 0 fall through the barrier before core 1 arrived, since
+// its dependency on core 1 only existed transitively through the corpses.
+// The crash-tolerant rendezvous must keep every survivor waiting on every
+// other survivor directly.
+func TestBarrierDeadPeersAdversarialOrder(t *testing.T) {
+	members := []int{0, 1, 2, 3}
+	eng, cl := newCluster(t, mailbox.ModeIPI, members)
+	victims := map[int]bool{2: true, 3: true}
+	arrive := make(map[int]sim.Time)
+	leave := make(map[int]sim.Time)
+	for _, id := range members {
+		id := id
+		cl.Start(id, func(k *Kernel) {
+			if victims[id] {
+				// Park until the scheduled crash cuts this off for good.
+				k.WaitFor(func() bool { return false })
+			}
+			skew := 50.0
+			if id == 1 {
+				skew = 300 // the survivor no round of core 0 waits on directly
+			}
+			k.Core().Proc().Advance(sim.Microseconds(skew))
+			k.Core().Sync()
+			arrive[id] = k.Core().Now()
+			k.Barrier()
+			leave[id] = k.Core().Now()
+		})
+	}
+	cl.ScheduleCrash(2, sim.Microseconds(10))
+	cl.ScheduleCrash(3, sim.Microseconds(10))
+	eng.Run()
+	eng.Shutdown()
+	if len(leave) != 2 {
+		t.Fatalf("survivors through the barrier: %v", leave)
+	}
+	for id, lt := range leave {
+		if lt < arrive[1] {
+			t.Fatalf("core %d left the barrier at %v us before core 1 arrived at %v us",
+				id, lt.Microseconds(), arrive[1].Microseconds())
+		}
+	}
+}

@@ -52,6 +52,15 @@ type OwnerDirectory interface {
 	// replicated directories; the legacy directory always refuses.
 	ReclaimDead(h *Handle, idx uint32, dead int) bool
 
+	// ReclaimOrphan recovers a page orphaned mid-handoff: the recorded owner
+	// is alive but keeps answering "not mine" because it yielded to a
+	// requester that crashed before committing the transfer. The directory
+	// reassigns the page to the caller (epoch-bumped, so a still-in-flight
+	// stale commit is fenced) and reports whether the caller won it. Only
+	// meaningful for replicated directories; the legacy directory commits
+	// transfers owner-side and can never orphan a record.
+	ReclaimOrphan(h *Handle, idx uint32, owner int) bool
+
 	// NoteAcquired records that the calling core completed an ownership
 	// acquisition of the page (the ack arrived). Replicated clients cache
 	// ownership locally off this call; the legacy directory ignores it.
@@ -127,6 +136,10 @@ func (d *legacyDirectory) TakeOwnership(h *Handle, idx uint32, prev int, epoch u
 }
 
 func (d *legacyDirectory) ReclaimDead(h *Handle, idx uint32, dead int) bool {
+	return false
+}
+
+func (d *legacyDirectory) ReclaimOrphan(h *Handle, idx uint32, owner int) bool {
 	return false
 }
 

@@ -44,6 +44,12 @@ type Handle struct {
 	ackEpoch map[uint32]uint32 // epoch carried by the last ack per page
 	retries  map[uint32]int    // retry notices received per page
 	inFault  map[uint32]bool   // pages this kernel is currently acquiring
+	// retryNoOwner counts retry notices flagged "not mine" — the recorded
+	// owner disowning the page. orphanFrom (owner+1) remembers that the last
+	// such notice for the page came from the same recorded owner, which after
+	// a re-read of the record means the page was orphaned mid-handoff.
+	retryNoOwner map[uint32]int
+	orphanFrom   map[uint32]int
 	// ownerRetryRounds drives the hardened exponential backoff per page
 	// while an acquisition keeps being answered with retries.
 	ownerRetryRounds map[uint32]int
@@ -66,6 +72,8 @@ func (s *System) Attach(k *kernel.Kernel) *Handle {
 		ackEpoch:         make(map[uint32]uint32),
 		retries:          make(map[uint32]int),
 		inFault:          make(map[uint32]bool),
+		retryNoOwner:     make(map[uint32]int),
+		orphanFrom:       make(map[uint32]int),
 		ownerRetryRounds: make(map[uint32]int),
 	}
 	s.handles[k.ID()] = h
@@ -76,6 +84,9 @@ func (s *System) Attach(k *kernel.Kernel) *Handle {
 	})
 	k.RegisterHandler(msgOwnerRetry, func(_ *kernel.Kernel, m mailbox.Msg) {
 		h.retries[m.U32(0)]++
+		if m.U32(1) != 0 { // "not mine": the recorded owner disowns the page
+			h.retryNoOwner[m.U32(0)]++
+		}
 	})
 	k.Core().SetFaultHandler(func(c *cpu.Core, vaddr uint32, write bool, e pgtable.Entry) {
 		h.handleFault(vaddr, write, e)
@@ -241,6 +252,7 @@ func (h *Handle) acquireOwnership(idx, page uint32) {
 	defer func() {
 		delete(h.inFault, idx)
 		delete(h.ownerRetryRounds, idx)
+		delete(h.orphanFrom, idx)
 	}()
 	mapMine := func() {
 		h.k.Core().Cycles(s.cfg.MapCycles)
@@ -268,7 +280,7 @@ func (h *Handle) acquireOwnership(idx, page uint32) {
 		}
 		h.stats.OwnerRequests++
 		s.chip.Tracer().Emit(h.k.Core().Now(), me, trace.KindOwnerRequest, uint64(idx), uint64(owner))
-		acks, retries := h.acks[idx], h.retries[idx]
+		acks, retries, noOwner := h.acks[idx], h.retries[idx], h.retryNoOwner[idx]
 		var p [8]byte
 		mailbox.PutU32(p[:], 0, idx)
 		mailbox.PutU32(p[:], 1, uint32(me))
@@ -322,6 +334,31 @@ func (h *Handle) acquireOwnership(idx, page uint32) {
 		// exponentially so a lost acknowledgement cannot turn into a
 		// request storm against the recovering owner.
 		h.retries[idx]--
+		if h.retryNoOwner[idx] > noOwner && s.dir.Replicated() {
+			// The recorded owner disowns the page: either a handoff is about
+			// to commit (transient — the record moves on), or the committer
+			// crashed after the yield and the record is orphaned. Two
+			// consecutive "not mine" notices from the SAME recorded owner —
+			// i.e. a directory re-read in between still named it — mean
+			// orphaned: have the directory reassign the page to us with an
+			// epoch bump (which fences the stale handoff if we guessed wrong
+			// and it does commit late — that commit is refused, not lost).
+			if h.orphanFrom[idx] == owner+1 {
+				if s.dir.ReclaimOrphan(h, idx, owner) {
+					mapMine()
+					s.dir.NoteAcquired(h, idx)
+					if s.hook != nil {
+						s.hook.OwnershipAcquired(me, idx)
+					}
+					return
+				}
+				delete(h.orphanFrom, idx) // record moved on; re-read it
+			} else {
+				h.orphanFrom[idx] = owner + 1
+			}
+		} else {
+			delete(h.orphanFrom, idx)
+		}
 		h.ownerRetryBackoff(idx)
 	}
 }
@@ -418,10 +455,13 @@ func (h *Handle) handleOwnerReqReplicated(idx uint32, requester int, page uint32
 	if !s.dir.OwnedLocally(h, idx) {
 		// Stale request: the requester read an outdated owner. Unlike the
 		// legacy forwarding chain there is an authoritative directory to
-		// re-consult, so bounce the requester back to it.
+		// re-consult, so bounce the requester back to it — flagged "not
+		// mine", so a requester that keeps landing here after re-reads can
+		// detect an orphaned record (see acquireOwnership).
 		h.stats.Forwards++
-		var p [4]byte
+		var p [8]byte
 		mailbox.PutU32(p[:], 0, idx)
+		mailbox.PutU32(p[:], 1, 1)
 		h.k.Send(requester, msgOwnerRetry, p[:])
 		return
 	}

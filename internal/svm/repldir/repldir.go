@@ -59,6 +59,7 @@ const (
 	reqTransfer        // page, prevOwner, epoch → ok|fenced (sender becomes owner)
 	reqReclaim         // page, deadOwner → ok(epoch)|denied(owner,epoch)
 	reqForget          // page → frame (free path)
+	reqOrphan          // page, recordedOwner → ok(epoch)|denied (owner disowns)
 )
 
 // Reply statuses.
@@ -75,7 +76,13 @@ const (
 	requestTimeoutUS = 400 // client RPC before probing the primary
 	prepareTimeoutUS = 300 // primary waiting for a backup ack
 	changeRetryUS    = 600 // elected successor re-soliciting a stalled election
+	fetchRetryUS     = 350 // catch-up chain quiet time before the watchdog re-kicks
 )
+
+// fetchGiveUpTries bounds watchdog re-kicks of a catch-up chain that keeps
+// dying; a view-change catch-up with an alive source is exempt (it must
+// finish or committed ops are lost).
+const fetchGiveUpTries = 4
 
 // Config parameterizes the replicated directory.
 type Config struct {
@@ -111,6 +118,9 @@ type Stats struct {
 	ViewChanges     uint64 // completed failovers
 	Reconstructions uint64 // dead-owner pages revoked and reassigned
 	Fenced          uint64 // stale transfers refused by epoch/owner fencing
+	OrphanReclaims  uint64 // pages whose recorded owner disowned them (orphaned handoff)
+	FetchRetries    uint64 // catch-up chains re-kicked by the watchdog
+	FetchAborts     uint64 // catch-up chains abandoned after repeated deaths
 }
 
 // System is the replicated directory. It implements svm.OwnerDirectory for
@@ -386,6 +396,22 @@ func (d *System) ReclaimDead(h *svm.Handle, idx uint32, dead int) bool {
 	c := d.client(h)
 	d.stats.Reclaims++
 	rep := c.rpc(d, h.Kernel(), reqReclaim, idx, enc(dead), 0)
+	if rep.status != repOK {
+		return false
+	}
+	c.owned[idx] = true
+	c.epochs[idx] = rep.a
+	return true
+}
+
+// ReclaimOrphan recovers a page whose recorded owner no longer holds it: the
+// previous requester crashed after the owner yielded but before committing
+// the transfer, leaving the record pointing at an alive core that keeps
+// answering "not mine". The directory reassigns the page to the caller with
+// an epoch bump, fencing any still-in-flight stale handoff.
+func (d *System) ReclaimOrphan(h *svm.Handle, idx uint32, owner int) bool {
+	c := d.client(h)
+	rep := c.rpc(d, h.Kernel(), reqOrphan, idx, enc(owner), 0)
 	if rep.status != repOK {
 		return false
 	}

@@ -9,6 +9,7 @@ import (
 	"metalsvm/internal/core"
 	"metalsvm/internal/faults"
 	"metalsvm/internal/scc"
+	"metalsvm/internal/sim"
 	"metalsvm/internal/svm"
 	"metalsvm/internal/svm/repldir"
 )
@@ -133,6 +134,35 @@ func TestCrashFailoverAndReclaim(t *testing.T) {
 	}
 }
 
+// Crash schedules across a seed sweep must all run to completion with the
+// reference checksum — the liveness guard for the recovery paths (failover,
+// catch-up retry, reclaim): a stalled fetch chain or wedged page shows up
+// here as a watchdog report.
+func TestCrashSeedSweepCompletes(t *testing.T) {
+	lp := testParams()
+	lcfg := bench.Fig9Config{Params: lp, Chip: testChip()}
+	want := laplace.ReferenceChecksum(lp)
+	for seed := uint64(1); seed <= 6; seed++ {
+		fc := faults.Config{Seed: seed, Spec: mustPreset(t, "crash")}
+		r := bench.Fig9CrashChaos(lcfg, svm.Strong, 4, &fc)
+		if !r.Completed {
+			t.Fatalf("seed %d froze:\n%s", seed, r.Watchdog)
+		}
+		if r.Sum != want || r.AuditSum != want {
+			t.Fatalf("seed %d checksum %v / audit %v, want %v", seed, r.Sum, r.AuditSum, want)
+		}
+	}
+}
+
+func mustPreset(t *testing.T, name string) faults.Spec {
+	t.Helper()
+	sp, ok := faults.PresetSpec(name)
+	if !ok {
+		t.Fatalf("preset %q missing", name)
+	}
+	return sp
+}
+
 // The same seed must replay a crash run bit-identically.
 func TestCrashReplayDeterminism(t *testing.T) {
 	fc, err := faults.ParseConfig("7,crash")
@@ -163,11 +193,114 @@ func TestMetricsSurfaceDirCounters(t *testing.T) {
 	if got, want := snap.Counter("dir.requests"), snap.Counter("dir.lookups")+
 		snap.Counter("dir.claims")+snap.Counter("dir.get_owners")+
 		snap.Counter("dir.transfers")+snap.Counter("dir.reclaims")+
-		snap.Counter("dir.forgets"); got != want {
+		snap.Counter("dir.forgets")+snap.Counter("dir.orphan_reclaims"); got != want {
 		t.Fatalf("dir.requests = %d, want the sum of the per-kind counters %d", got, want)
 	}
 	if snap.Counter("dir.view_changes") != 0 {
 		t.Fatalf("spurious view changes on a fault-free run")
+	}
+}
+
+// yieldClock records when the first B→A ownership transfer leaves the owner
+// (the yield instant), for calibrating a crash into the handoff window.
+type yieldClock struct {
+	chip  *scc.Chip
+	owner int
+	reqer int
+	t     sim.Time
+	seen  bool
+}
+
+func (y *yieldClock) LockAcquired(core, lock int)             {}
+func (y *yieldClock) LockReleased(core, lock int)             {}
+func (y *yieldClock) OwnershipAcquired(core int, page uint32) {}
+func (y *yieldClock) OwnershipTransferred(owner, requester int, page uint32) {
+	if !y.seen && owner == y.owner && requester == y.reqer {
+		y.seen = true
+		y.t = y.chip.Core(owner).Now()
+	}
+}
+
+// A requester that crashes after the owner yielded but before committing the
+// transfer must not wedge the page: the recorded owner is alive yet disowns
+// it, and the next requester has to recover it through an orphan reclaim.
+// The crash instant comes from a calibration run (same seed, inert crash
+// entries so both runs take the crash-armed barrier paths and stay
+// bit-identical up to the injected crash).
+func TestOrphanedHandoffRecovers(t *testing.T) {
+	const ownerCore, crashCore, lateCore = 0, 1, 2
+	run := func(fc *faults.Config, clock *yieldClock) (uint64, *core.Machine) {
+		chip := testChip()
+		scfg := svm.DefaultConfig(svm.Strong)
+		m, err := core.NewMachine(core.Options{
+			Chip:                &chip,
+			SVM:                 &scfg,
+			Members:             core.FirstN(3),
+			Faults:              fc,
+			ReplicatedDirectory: &repldir.Config{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clock != nil {
+			clock.chip = m.Chip
+			m.SVM.SetSyncHook(clock)
+		}
+		var got uint64
+		m.Run(map[int]func(*core.Env){
+			ownerCore: func(env *core.Env) {
+				base := env.SVM.Alloc(4096)
+				env.Core().Store64(base, 42) // first touch: this core owns the page
+				env.SVM.Barrier()
+				env.SVM.Barrier() // park here serving requests until the others finish
+			},
+			crashCore: func(env *core.Env) {
+				base := env.SVM.Alloc(4096)
+				env.SVM.Barrier()
+				env.Core().Load64(base) // acquire mid-crash (never completes in the crash run)
+				env.SVM.Barrier()
+			},
+			lateCore: func(env *core.Env) {
+				base := env.SVM.Alloc(4096)
+				env.SVM.Barrier()
+				// Arrive well after the crash wedged the record.
+				env.Core().Proc().Advance(sim.Microseconds(800))
+				env.Core().Sync()
+				got = env.Core().Load64(base)
+				env.SVM.Barrier()
+			},
+		})
+		if m.Cluster.WatchdogFired() {
+			t.Fatalf("watchdog fired:\n%s", m.Cluster.WatchdogReport())
+		}
+		return got, m
+	}
+
+	// Calibration: find the yield instant. The after-done crash entry is
+	// inert before completion but arms the crash-tolerant barriers, keeping
+	// this run bit-identical to the crash run up to the injected instant.
+	clock := &yieldClock{owner: ownerCore, reqer: crashCore}
+	calGot, _ := run(&faults.Config{Seed: 11, Spec: faults.Spec{
+		Crashes: []faults.Crash{{Core: crashCore, AfterDoneUS: 50}},
+	}}, clock)
+	if !clock.seen {
+		t.Fatal("calibration run saw no ownership transfer to the crash core")
+	}
+	if calGot != 42 {
+		t.Fatalf("calibration read %d, want 42", calGot)
+	}
+
+	// Crash run: kill the requester 1us after the yield — long before its
+	// directory commit can land — leaving the record orphaned.
+	got, m := run(&faults.Config{Seed: 11, Spec: faults.Spec{
+		Crashes: []faults.Crash{{Core: crashCore, AtUS: clock.t.Microseconds() + 1}},
+	}}, nil)
+	if got != 42 {
+		t.Fatalf("late reader got %d through the orphaned page, want 42", got)
+	}
+	ds := m.Dir.Stats()
+	if ds.OrphanReclaims == 0 {
+		t.Fatalf("no orphan reclaim despite the wedged handoff: %+v", ds)
 	}
 }
 

@@ -82,12 +82,23 @@ type replica struct {
 	bestFrom    int
 	changeStart sim.Time
 
-	// Catch-up (GetOp chain) state.
+	// Catch-up (GetOp chain) state. fetchLast/fetchTries drive the tick
+	// watchdog: a chain whose source died (or whose OpEntry was eaten by the
+	// mailbox of a crashed hop) is re-kicked against an alive peer instead of
+	// stalling forever.
 	fetching    bool
 	fetchTarget uint32
 	fetchPeer   int
 	fetchMode   int
 	fetchAckTo  int
+	fetchLast   sim.Time
+	fetchTries  int
+
+	// forgotten tombstones the frame of each dropped page record so a
+	// retried forget (reply lost to a primary crash) still learns the frame
+	// instead of leaking it. A later claim of the same page clears the
+	// tombstone — the address space was reused, not re-asked.
+	forgotten map[uint32]uint32
 }
 
 func (r *replica) applyOp(o op) {
@@ -95,6 +106,7 @@ func (r *replica) applyOp(o op) {
 	case opClaim:
 		if _, ok := r.state[o.page]; !ok {
 			r.state[o.page] = pageState{frame: o.a, owner: o.b, epoch: 1}
+			delete(r.forgotten, o.page)
 		}
 	case opTransfer:
 		st := r.state[o.page]
@@ -106,6 +118,9 @@ func (r *replica) applyOp(o op) {
 		st.epoch++
 		r.state[o.page] = st
 	case opForget:
+		if st, ok := r.state[o.page]; ok {
+			r.forgotten[o.page] = st.frame
+		}
 		delete(r.state, o.page)
 	}
 }
@@ -122,7 +137,8 @@ func (d *System) attachManager(k *kernel.Kernel) {
 	if _, ok := d.replicas[k.ID()]; ok {
 		return
 	}
-	r := &replica{state: make(map[uint32]pageState), bestFrom: -1, fetchPeer: -1, fetchAckTo: -1}
+	r := &replica{state: make(map[uint32]pageState), forgotten: make(map[uint32]uint32),
+		bestFrom: -1, fetchPeer: -1, fetchAckTo: -1}
 	d.replicas[k.ID()] = r
 	k.RegisterHandler(msgRequest, func(_ *kernel.Kernel, m mailbox.Msg) { d.handleRequest(k, r, m) })
 	k.RegisterHandler(msgPrepare, func(_ *kernel.Kernel, m mailbox.Msg) { d.handlePrepare(k, r, m) })
@@ -212,15 +228,21 @@ func (d *System) handleRequest(k *kernel.Kernel, r *replica, m mailbox.Msg) {
 		}
 		d.commitOp(k, r, op{kind: opTransfer, page: page, a: enc(from)})
 		reply(repOK, 0, 0, 0)
-	case reqReclaim:
+	case reqReclaim, reqOrphan:
+		if kind == reqOrphan {
+			d.stats.OrphanReclaims++
+		}
 		st, ok := r.state[page]
 		if !ok || st.owner != a {
 			reply(repDenied, st.owner, st.epoch, 0)
 			return
 		}
-		if d.chip.ProbeAlive(me, int(a)-1) {
+		if kind == reqReclaim && d.chip.ProbeAlive(me, int(a)-1) {
 			// The requester's timeout was premature: the owner is alive in
-			// the liveness register, so its ack is merely slow.
+			// the liveness register, so its ack is merely slow. An orphan
+			// reclaim skips the probe — there the recorded owner itself is
+			// disowning the page (it yielded, but the requester died before
+			// committing the transfer), so aliveness proves nothing.
 			reply(repDenied, st.owner, st.epoch, 0)
 			return
 		}
@@ -234,8 +256,13 @@ func (d *System) handleRequest(k *kernel.Kernel, r *replica, m mailbox.Msg) {
 		st, ok := r.state[page]
 		if ok {
 			d.commitOp(k, r, op{kind: opForget, page: page})
+			reply(repOK, st.frame, 0, 0)
+			return
 		}
-		reply(repOK, st.frame, 0, 0)
+		// No record: either the page never materialized (frame 0) or this is
+		// a retry of a forget whose reply died with the old primary — the
+		// tombstone keeps the frame from leaking in that case.
+		reply(repOK, r.forgotten[page], 0, 0)
 	}
 }
 
@@ -298,6 +325,13 @@ func (d *System) handlePrepare(k *kernel.Kernel, r *replica, m mailbox.Msg) {
 		r.view = view
 		r.pendingView = view
 		r.status = statusNormal
+		if r.fetching && r.fetchMode == fetchViewChange {
+			// We were catching up to take over, but someone else won the
+			// election: finishing the chain must now ack the real primary,
+			// not send a bogus StartView of our own.
+			r.fetchMode = fetchAck
+			r.fetchAckTo = m.From
+		}
 	}
 	if view < r.view || r.status != statusNormal {
 		// Leftover from a dead primary's last moments: discarding (rather
@@ -307,6 +341,10 @@ func (d *System) handlePrepare(k *kernel.Kernel, r *replica, m mailbox.Msg) {
 	switch {
 	case opnum == r.opnum+1:
 		r.appendOp(o)
+		if r.fetching && r.opnum >= r.fetchTarget {
+			// The in-order prepares closed the gap the chain was fetching.
+			d.finishFetch(k, r)
+		}
 	case opnum <= r.opnum:
 		// Duplicate; the cumulative ack below re-covers it.
 	default:
@@ -329,6 +367,7 @@ func (d *System) sendPrepareOK(k *kernel.Kernel, r *replica, to int) {
 // --- Catch-up (GetOp chain) ----------------------------------------------
 
 func (d *System) startFetch(k *kernel.Kernel, r *replica, peer int, upTo uint32, mode, ackTo int) {
+	prev := r.fetchPeer
 	if upTo > r.fetchTarget {
 		r.fetchTarget = upTo
 	}
@@ -339,14 +378,75 @@ func (d *System) startFetch(k *kernel.Kernel, r *replica, peer int, upTo uint32,
 	r.fetchAckTo = ackTo
 	if !r.fetching {
 		r.fetching = true
+		r.fetchTries = 0
+		d.sendGetOp(k, r)
+		return
+	}
+	if peer != prev || d.chip.CoreCrashed(prev) {
+		// The chain we were riding is broken (its source died, or a newer
+		// caller knows a better source): re-kick against the new peer
+		// instead of waiting on an OpEntry that will never come.
+		r.fetchTries = 0
 		d.sendGetOp(k, r)
 	}
 }
 
 func (d *System) sendGetOp(k *kernel.Kernel, r *replica) {
+	r.fetchLast = k.Core().Proc().LocalTime()
 	var p [4]byte
 	mailbox.PutU32(p[:], 0, r.opnum+1)
 	k.Send(r.fetchPeer, msgGetOp, p[:])
+}
+
+// finishFetch tears down the chain state and runs the completion action the
+// chain was started for.
+func (d *System) finishFetch(k *kernel.Kernel, r *replica) {
+	r.fetching = false
+	r.fetchTries = 0
+	mode, ackTo := r.fetchMode, r.fetchAckTo
+	r.fetchMode, r.fetchTarget, r.fetchAckTo = fetchNone, 0, -1
+	switch mode {
+	case fetchViewChange:
+		d.finishViewChange(k, r)
+	case fetchAck:
+		if ackTo >= 0 && ackTo != k.ID() && !d.chip.CoreCrashed(ackTo) {
+			d.sendPrepareOK(k, r, ackTo)
+		}
+	}
+}
+
+// retryFetch is the tick watchdog's slow path: the chain went quiet past the
+// retry deadline. Re-ask the source if it is still alive; otherwise rotate to
+// an alive manager (any replica with the ops can serve GetOp). A chain that
+// keeps dying is abandoned — except a view-change catch-up with a live
+// source, which must complete or the directory loses committed ops.
+func (d *System) retryFetch(k *kernel.Kernel, r *replica) {
+	me := k.ID()
+	srcAlive := r.fetchPeer >= 0 && !d.chip.CoreCrashed(r.fetchPeer)
+	if r.fetchTries >= fetchGiveUpTries && !(r.fetchMode == fetchViewChange && srcAlive) {
+		// The target ops are likely gone with their holder; a later prepare
+		// or StartView from the (new) primary restarts catch-up from there.
+		d.stats.FetchAborts++
+		d.finishFetch(k, r)
+		return
+	}
+	r.fetchTries++
+	if !srcAlive {
+		alive := make([]int, 0, len(d.managers))
+		for _, mgr := range d.managers {
+			if mgr != me && !d.chip.CoreCrashed(mgr) {
+				alive = append(alive, mgr)
+			}
+		}
+		if len(alive) == 0 {
+			d.stats.FetchAborts++
+			d.finishFetch(k, r)
+			return
+		}
+		r.fetchPeer = alive[r.fetchTries%len(alive)]
+	}
+	d.stats.FetchRetries++
+	d.sendGetOp(k, r)
 }
 
 func (d *System) handleGetOp(k *kernel.Kernel, r *replica, m mailbox.Msg) {
@@ -368,6 +468,7 @@ func (d *System) handleOpEntry(k *kernel.Kernel, r *replica, m mailbox.Msg) {
 	opnum := m.U32(0)
 	if opnum == r.opnum+1 {
 		r.appendOp(op{kind: m.U32(1), page: m.U32(2), a: m.U32(3), b: m.U32(4)})
+		r.fetchTries = 0 // the chain is moving again
 	}
 	if !r.fetching {
 		return
@@ -376,17 +477,7 @@ func (d *System) handleOpEntry(k *kernel.Kernel, r *replica, m mailbox.Msg) {
 		d.sendGetOp(k, r)
 		return
 	}
-	r.fetching = false
-	mode, ackTo := r.fetchMode, r.fetchAckTo
-	r.fetchMode, r.fetchTarget, r.fetchAckTo = fetchNone, 0, -1
-	switch mode {
-	case fetchViewChange:
-		d.finishViewChange(k, r)
-	case fetchAck:
-		if ackTo >= 0 && ackTo != k.ID() && !d.chip.CoreCrashed(ackTo) {
-			d.sendPrepareOK(k, r, ackTo)
-		}
-	}
+	d.finishFetch(k, r)
 }
 
 // --- View change (failover) ----------------------------------------------
@@ -397,6 +488,9 @@ func (d *System) handleOpEntry(k *kernel.Kernel, r *replica, m mailbox.Msg) {
 // designated successor keeps concurrent elections from dueling.
 func (d *System) tick(k *kernel.Kernel, r *replica) {
 	me := k.ID()
+	if r.fetching && k.Core().Proc().LocalTime()-r.fetchLast > sim.Microseconds(fetchRetryUS) {
+		d.retryFetch(k, r)
+	}
 	v := r.view
 	if r.status == statusViewChange && r.pendingView > v {
 		v = r.pendingView
@@ -548,6 +642,7 @@ func (d *System) DumpDiagnostics(w io.Writer) {
 		fmt.Fprintln(w)
 	}
 	s := d.stats
-	fmt.Fprintf(w, "  dir stats: commits=%d solo=%d view-changes=%d reclaims=%d fenced=%d redirects=%d timeouts=%d\n",
-		s.Commits, s.SoloCommits, s.ViewChanges, s.Reconstructions, s.Fenced, s.Redirects, s.Timeouts)
+	fmt.Fprintf(w, "  dir stats: commits=%d solo=%d view-changes=%d reclaims=%d orphans=%d fenced=%d redirects=%d timeouts=%d fetch-retries=%d fetch-aborts=%d\n",
+		s.Commits, s.SoloCommits, s.ViewChanges, s.Reconstructions, s.OrphanReclaims,
+		s.Fenced, s.Redirects, s.Timeouts, s.FetchRetries, s.FetchAborts)
 }

@@ -1,0 +1,41 @@
+package repldir
+
+import "testing"
+
+// A committed forget must leave a tombstone carrying the freed frame, so a
+// retried forget (reply lost to a primary crash) still reports the frame
+// instead of leaking it; a later claim of the same page index (address-space
+// reuse) clears the tombstone.
+func TestForgetTombstone(t *testing.T) {
+	r := &replica{state: make(map[uint32]pageState), forgotten: make(map[uint32]uint32),
+		bestFrom: -1, fetchPeer: -1, fetchAckTo: -1}
+	const page, frame = 9, 7
+
+	r.appendOp(op{kind: opClaim, page: page, a: frame, b: enc(3)})
+	if st := r.state[page]; st.frame != frame || st.owner != enc(3) {
+		t.Fatalf("claim not applied: %+v", st)
+	}
+
+	r.appendOp(op{kind: opForget, page: page})
+	if _, ok := r.state[page]; ok {
+		t.Fatal("forget left the record in place")
+	}
+	if got := r.forgotten[page]; got != frame {
+		t.Fatalf("tombstone frame = %d, want %d", got, frame)
+	}
+
+	// A retried forget finds no record and answers from the tombstone — the
+	// handler path reads r.forgotten[page]; the state must still hold it.
+	if got := r.forgotten[page]; got != frame {
+		t.Fatalf("tombstone lost on re-read: %d", got)
+	}
+
+	// Reuse of the page index starts a fresh record and drops the tombstone.
+	r.appendOp(op{kind: opClaim, page: page, a: frame + 1, b: enc(5)})
+	if _, ok := r.forgotten[page]; ok {
+		t.Fatal("claim did not clear the tombstone")
+	}
+	if st := r.state[page]; st.frame != frame+1 || st.owner != enc(5) || st.epoch != 1 {
+		t.Fatalf("re-claim record wrong: %+v", st)
+	}
+}
