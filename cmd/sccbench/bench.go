@@ -76,50 +76,83 @@ func benchExperiments() []benchExperiment {
 	}
 }
 
-// benchRecord is one experiment's row of BENCH_sim.json. "Slow" is the
-// reference configuration: fast paths off and one simulation at a time —
-// the seed's behaviour. All three configurations must produce bit-identical
-// simulation results; -bench exits non-zero if they do not.
-type benchRecord struct {
-	Experiment      string  `json:"experiment"`
-	SerialSlowSec   float64 `json:"serial_slow_sec"`
-	SerialFastSec   float64 `json:"serial_fast_sec"`
-	ParallelSec     float64 `json:"parallel_sec"`
-	FastPathSpeedup float64 `json:"fastpath_speedup"`
-	ParallelSpeedup float64 `json:"parallel_speedup"`
-	TotalSpeedup    float64 `json:"total_speedup"`
-	SimulatedUS     float64 `json:"simulated_us"`
-	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
-	FastPathMatches bool    `json:"fastpath_matches_reference"`
-	ParallelMatches bool    `json:"parallel_matches_serial"`
+// benchSimRecord is one experiment's bit-exact simulated result. These
+// fields are pure functions of the experiment configuration — identical on
+// every machine, at every parallelism and intra worker count — and are the
+// only fields -baseline compares against the committed BENCH_sim.json.
+type benchSimRecord struct {
+	Experiment  string  `json:"experiment"`
+	SimulatedUS float64 `json:"simulated_us"`
+}
+
+// benchHostRecord is one experiment's host wall-clock measurements. These
+// drift between machines and runs and are never part of the baseline
+// comparison. "Slow" is the reference configuration: fast paths off and one
+// simulation at a time — the seed's behaviour. All four configurations must
+// produce bit-identical simulation results; -bench exits non-zero if not.
+type benchHostRecord struct {
+	Experiment       string  `json:"experiment"`
+	SerialSlowSec    float64 `json:"serial_slow_sec"`
+	SerialFastSec    float64 `json:"serial_fast_sec"`
+	ParallelSec      float64 `json:"parallel_sec"`
+	IntraParallelSec float64 `json:"intra_parallel_sec"`
+	FastPathSpeedup  float64 `json:"fastpath_speedup"`
+	ParallelSpeedup  float64 `json:"parallel_speedup"`
+	IntraSpeedup     float64 `json:"intra_speedup"`
+	TotalSpeedup     float64 `json:"total_speedup"`
+	SimCyclesPerSec  float64 `json:"sim_cycles_per_sec"`
+	FastPathMatches  bool    `json:"fastpath_matches_reference"`
+	ParallelMatches  bool    `json:"parallel_matches_serial"`
+	IntraMatches     bool    `json:"intra_matches_serial"`
 }
 
 type benchReport struct {
-	GOMAXPROCS  int           `json:"gomaxprocs"`
-	Workers     int           `json:"workers"`
-	Experiments []benchRecord `json:"experiments"`
+	GOMAXPROCS   int `json:"gomaxprocs"`
+	Workers      int `json:"workers"`
+	IntraWorkers int `json:"intra_workers"`
+	// HostParallelMeaningful is false when the process cannot actually run
+	// anything concurrently (GOMAXPROCS=1) or was asked not to (one worker):
+	// the parallel and intra wall-clock columns then measure scheduling
+	// overhead, not speedup, and must not be read as such.
+	HostParallelMeaningful bool              `json:"host_parallel_meaningful"`
+	Note                   string            `json:"note,omitempty"`
+	Simulated              []benchSimRecord  `json:"simulated"`
+	Host                   []benchHostRecord `json:"host"`
 }
 
-// runBench times each quick experiment in three configurations — fast
-// paths off + serial (the reference), fast paths on + serial, fast paths
-// on + parallel — verifies all three agree bit-exactly, prints a summary,
-// and writes BENCH_sim.json. With baseline set, the fresh simulated results
-// are first diffed bit-for-bit against the committed BENCH_sim.json (which
-// is left untouched on mismatch, so the drift stays inspectable). Returns
-// the process exit code.
-func runBench(workers int, baseline bool) int {
+// runBench times each quick experiment in four configurations — fast paths
+// off + serial (the reference), fast paths on + serial, fast paths on +
+// parallel across simulations, fast paths on + intra-parallel within each
+// simulation — verifies all four agree bit-exactly, prints a summary, and
+// writes BENCH_sim.json with the bit-exact simulated fields separated from
+// the machine-dependent wall-clock fields. With baseline set, the fresh
+// simulated results are first diffed bit-for-bit against the committed
+// BENCH_sim.json (which is left untouched on mismatch, so the drift stays
+// inspectable). Returns the process exit code.
+func runBench(workers, intra int, baseline bool) int {
+	if intra < 2 {
+		intra = 4 // measure a representative wave-dispatch width by default
+	}
 	report := benchReport{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    runner.New(workers).Workers(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      runner.New(workers).Workers(),
+		IntraWorkers: intra,
+	}
+	report.HostParallelMeaningful = report.GOMAXPROCS > 1 && report.Workers > 1
+	if !report.HostParallelMeaningful {
+		report.Note = "host-parallel wall-clock numbers are NOT meaningful: " +
+			"the process runs at most one simulation goroutine at a time " +
+			"(GOMAXPROCS=1 or a single worker); simulated results are unaffected"
 	}
 	// Simulated core cycles per reported microsecond (533 MHz cores).
 	cyclesPerUS := 1e6 / float64(cpu.DefaultConfig().Clock.PeriodPS)
 
-	fmt.Printf("sccbench -bench: %d worker(s) on GOMAXPROCS=%d\n",
-		report.Workers, report.GOMAXPROCS)
+	fmt.Printf("sccbench -bench: %d worker(s), %d intra worker(s) on GOMAXPROCS=%d\n",
+		report.Workers, report.IntraWorkers, report.GOMAXPROCS)
 	exit := 0
 	for _, ex := range benchExperiments() {
-		var slow, serial, par any
+		var slow, serial, par, wave any
+		fastpath.SetIntraWorkers(0)
 		fastpath.SetEnabled(false)
 		bench.SetParallelism(1)
 		slowSec := runner.Wall(func() { slow = ex.run() }).Seconds()
@@ -127,21 +160,29 @@ func runBench(workers int, baseline bool) int {
 		serialSec := runner.Wall(func() { serial = ex.run() }).Seconds()
 		bench.SetParallelism(workers)
 		parSec := runner.Wall(func() { par = ex.run() }).Seconds()
+		bench.SetParallelism(1)
+		fastpath.SetIntraWorkers(intra)
+		waveSec := runner.Wall(func() { wave = ex.run() }).Seconds()
+		fastpath.SetIntraWorkers(0)
 
-		rec := benchRecord{
-			Experiment:      ex.name,
-			SerialSlowSec:   slowSec,
-			SerialFastSec:   serialSec,
-			ParallelSec:     parSec,
-			FastPathSpeedup: slowSec / serialSec,
-			ParallelSpeedup: serialSec / parSec,
-			TotalSpeedup:    slowSec / parSec,
-			SimulatedUS:     ex.simUS(serial),
-			FastPathMatches: reflect.DeepEqual(slow, serial),
-			ParallelMatches: reflect.DeepEqual(serial, par),
+		rec := benchHostRecord{
+			Experiment:       ex.name,
+			SerialSlowSec:    slowSec,
+			SerialFastSec:    serialSec,
+			ParallelSec:      parSec,
+			IntraParallelSec: waveSec,
+			FastPathSpeedup:  slowSec / serialSec,
+			ParallelSpeedup:  serialSec / parSec,
+			IntraSpeedup:     serialSec / waveSec,
+			TotalSpeedup:     slowSec / parSec,
+			FastPathMatches:  reflect.DeepEqual(slow, serial),
+			ParallelMatches:  reflect.DeepEqual(serial, par),
+			IntraMatches:     reflect.DeepEqual(serial, wave),
 		}
-		rec.SimCyclesPerSec = rec.SimulatedUS * cyclesPerUS / parSec
-		report.Experiments = append(report.Experiments, rec)
+		sim := benchSimRecord{Experiment: ex.name, SimulatedUS: ex.simUS(serial)}
+		rec.SimCyclesPerSec = sim.SimulatedUS * cyclesPerUS / parSec
+		report.Simulated = append(report.Simulated, sim)
+		report.Host = append(report.Host, rec)
 		if !rec.FastPathMatches {
 			fmt.Fprintf(os.Stderr, "sccbench -bench: %s: fast paths DIVERGE from the reference configuration\n", ex.name)
 			exit = 1
@@ -150,26 +191,35 @@ func runBench(workers int, baseline bool) int {
 			fmt.Fprintf(os.Stderr, "sccbench -bench: %s: parallel run DIVERGES from the serial run\n", ex.name)
 			exit = 1
 		}
+		if !rec.IntraMatches {
+			fmt.Fprintf(os.Stderr, "sccbench -bench: %s: intra-parallel run DIVERGES from the serial run\n", ex.name)
+			exit = 1
+		}
 	}
 	// Leave the process-global switches as the flags configured them.
 	fastpath.SetEnabled(true)
 	bench.SetParallelism(workers)
 
-	t := stats.NewTable("experiment", "ref [s]", "fast [s]", "parallel [s]",
-		"fastpath x", "parallel x", "total x", "Mcycles/s")
-	for _, r := range report.Experiments {
+	t := stats.NewTable("experiment", "ref [s]", "fast [s]", "parallel [s]", "intra [s]",
+		"fastpath x", "parallel x", "intra x", "total x", "Mcycles/s")
+	for _, r := range report.Host {
 		t.AddRow(r.Experiment,
 			fmt.Sprintf("%.2f", r.SerialSlowSec),
 			fmt.Sprintf("%.2f", r.SerialFastSec),
 			fmt.Sprintf("%.2f", r.ParallelSec),
+			fmt.Sprintf("%.2f", r.IntraParallelSec),
 			fmt.Sprintf("%.2f", r.FastPathSpeedup),
 			fmt.Sprintf("%.2f", r.ParallelSpeedup),
+			fmt.Sprintf("%.2f", r.IntraSpeedup),
 			fmt.Sprintf("%.2f", r.TotalSpeedup),
 			fmt.Sprintf("%.1f", r.SimCyclesPerSec/1e6))
 	}
 	fmt.Print(t)
+	if report.Note != "" {
+		fmt.Println("note:", report.Note)
+	}
 	if exit == 0 {
-		fmt.Println("all configurations bit-identical (fast paths and parallel runner)")
+		fmt.Println("all configurations bit-identical (fast paths, parallel runner, intra-parallel waves)")
 	}
 
 	if baseline {
@@ -206,11 +256,11 @@ func diffBaseline(report benchReport) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parse baseline %s: %w", benchReportFile, err)
 	}
-	prev := make(map[string]float64, len(base.Experiments))
-	for _, r := range base.Experiments {
+	prev := make(map[string]float64, len(base.Simulated))
+	for _, r := range base.Simulated {
 		prev[r.Experiment] = r.SimulatedUS
 	}
-	for _, r := range report.Experiments {
+	for _, r := range report.Simulated {
 		want, ok := prev[r.Experiment]
 		if !ok {
 			return fmt.Errorf("experiment %q missing from baseline %s: regenerate and commit it",

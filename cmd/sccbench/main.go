@@ -16,11 +16,15 @@
 // 800 MHz mesh and memory, as in the paper's test platform).
 //
 // Independent simulations (one per sweep point) fan out across host CPUs
-// by default; -parallel 1 forces serial execution. The results are
-// bit-identical either way — each simulation is a pure function of its
-// configuration. -json emits machine-readable results instead of tables,
-// and -bench measures the host-side speedup of the fast paths and the
-// parallel runner, writing BENCH_sim.json.
+// by default; -parallel 1 forces serial execution. -intra N additionally
+// spreads every single simulation over N host workers (conservative-PDES
+// wave dispatch over the mesh-hop lookahead). The results are bit-identical
+// either way — each simulation is a pure function of its configuration,
+// and the wave engine replays its bookkeeping in exact serial order.
+// -json emits machine-readable results instead of tables, and -bench
+// measures the host-side speedup of the fast paths, the parallel runner
+// and the intra-run wave dispatch, writing BENCH_sim.json. -cpuprofile and
+// -memprofile write standard pprof profiles of the host process.
 package main
 
 import (
@@ -28,12 +32,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"metalsvm/internal/bench"
+	"metalsvm/internal/fastpath"
 	"metalsvm/internal/stats"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds the real main so profile teardown runs before the process
+// exits (os.Exit skips deferred calls).
+func run() int {
 	rounds := flag.Int("rounds", 200, "ping-pong rounds per mailbox measurement")
 	iters := flag.Int("iters", 50, "Laplace iterations (paper: 5000; per-iteration cost is constant, so crossovers are preserved)")
 	fullLaplace := flag.Bool("full", false, "run the Laplace benchmark with the paper's full 5000 iterations (slow)")
@@ -42,6 +53,9 @@ func main() {
 	baseline := flag.Bool("baseline", false, "with -bench: require simulated results to match the committed BENCH_sim.json bit for bit")
 	chaos := flag.String("chaos", "", "run the chaos harness with `seed[,spec]`: representative cells under deterministic fault injection (specs: corrupt, crash, delays, drops, light, mixed; crash and mixed also run the replicated-directory failover cells)")
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = one per host CPU, 1 = serial)")
+	intra := flag.Int("intra", 0, "host workers per single simulation (conservative-PDES wave dispatch; 0 or 1 = serial engine, results are bit-identical at any count)")
+	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write a host heap profile to `file` at exit")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
 	benchMode := flag.Bool("bench", false, "measure host wall-clock of the experiments (fast paths and parallel runner on vs off), write BENCH_sim.json, and verify the configurations agree bit-exactly")
 	metricsFlag := flag.Bool("metrics", false, "run one representative instrumented cell of the chosen harness and print the metrics snapshot")
@@ -57,28 +71,58 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sccbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sccbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 	bench.SetParallelism(*parallel)
+	fastpath.SetIntraWorkers(*intra)
 	if *check {
 		if !runCheck(*parallel) {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *sanitize {
 		if !runSanitize(*parallel) {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *chaos != "" {
-		os.Exit(runChaos(*chaos, *rounds, *iters))
+		return runChaos(*chaos, *rounds, *iters)
 	}
 	if *benchMode {
-		os.Exit(runBench(*parallel, *baseline))
+		return runBench(*parallel, *intra, *baseline)
 	}
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	cmd := flag.Arg(0)
 	n := *iters
@@ -87,7 +131,7 @@ func main() {
 	}
 	oc := observeConfig{metrics: *metricsFlag, profile: *profileFlag, perfetto: *perfettoOut}
 	if oc.enabled() {
-		os.Exit(runObserve(cmd, *rounds, n, oc))
+		return runObserve(cmd, *rounds, n, oc)
 	}
 	var res *results
 	if *jsonOut {
@@ -120,16 +164,17 @@ func main() {
 		comm(*rounds, res)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	if res != nil {
 		out, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(string(out))
 	}
+	return 0
 }
 
 // results collects experiment outputs when -json is set; a nil *results

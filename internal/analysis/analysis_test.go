@@ -205,6 +205,33 @@ func engine() { go func() {}() }
 	wantFindings(t, msgs)
 }
 
+func TestSimDetSimWaveRunnerAnnotationAllowsSyncImports(t *testing.T) {
+	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/sim", src: `
+//metalsvm:host-parallel — wave runner
+package sim
+import (
+	"sync"
+	"sync/atomic"
+)
+func wave() {
+	var wg sync.WaitGroup
+	var n atomic.Int64
+	n.Add(1)
+	wg.Wait()
+}
+`})
+	wantFindings(t, msgs)
+}
+
+func TestSimDetSimSyncImportRequiresAnnotation(t *testing.T) {
+	msgs := check(t, SimDet, pkgSrc{path: "metalsvm/internal/sim", src: `
+package sim
+import "sync"
+func sneaky() { var mu sync.Mutex; mu.Lock(); mu.Unlock() }
+`})
+	wantFindings(t, msgs, "outside the //metalsvm:host-parallel-annotated wave runner")
+}
+
 func TestTraceNilFlagsEventLiteral(t *testing.T) {
 	msgs := check(t, TraceNil, fakeTrace, pkgSrc{path: "metalsvm/internal/svm", src: `
 package svm
@@ -312,9 +339,9 @@ func bad() { go func() {}() }
 
 func TestSimDetHostParallelRejectedInCorePackages(t *testing.T) {
 	for _, path := range []string{
-		"metalsvm/internal/sim",
 		"metalsvm/internal/cpu",
 		"metalsvm/internal/svm",
+		"metalsvm/internal/mesh",
 		"metalsvm/internal/apps/laplace",
 	} {
 		pkg := path[strings.LastIndex(path, "/")+1:]

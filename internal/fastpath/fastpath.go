@@ -31,3 +31,25 @@ func Enabled() bool { return !disabled.Load() }
 // equivalence tests and sccbench -bench's "before" measurements are the
 // only intended callers of SetEnabled(false).
 func SetEnabled(on bool) { disabled.Store(!on) }
+
+// intraWorkers is the process default for intra-run parallel dispatch: the
+// number of host workers the engine's conservative-PDES wave mode may use
+// inside a single simulation. Like the fast-path switch it is read at
+// machine construction time only (core.NewMachine, core.NewBaseline, the
+// bench harnesses), and 0 or 1 means serial dispatch — the default.
+var intraWorkers atomic.Int32
+
+// IntraWorkers returns the intra-run parallelism default for subsequently
+// built machines (0 or 1: serial).
+func IntraWorkers() int { return int(intraWorkers.Load()) }
+
+// SetIntraWorkers sets the intra-run parallelism default. Wave dispatch is
+// bit-exact by construction — simulated timestamps, traces and results are
+// identical to serial dispatch at any worker count (sccbench -check, -chaos
+// and the equivalence tests assert this); only host wall-clock changes.
+func SetIntraWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	intraWorkers.Store(int32(n))
+}

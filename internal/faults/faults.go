@@ -206,15 +206,55 @@ func (s Stats) Injected() uint64 {
 // Injector draws fault decisions from a seeded deterministic stream. All
 // methods are nil-safe: a nil injector never injects and consumes no
 // randomness.
+//
+// Two stream families coexist. Protocol-level faults (TAS, Mail, IPI drops,
+// duplicates, corruption) draw from one global stream: they fire from
+// globally ordered effect contexts, so their draw order is the serial event
+// order and stays bit-identical whether or not the engine runs waves. The
+// compute-path faults — DDR delay, MPB delay, transient stalls — fire from
+// inside a core's compute segments, which wave dispatch runs concurrently;
+// they draw from per-core streams (see BindCores) so each core's sequence
+// depends only on its own operation order, never on cross-core interleaving.
 type Injector struct {
 	cfg   Config
 	state uint64
 	stats Stats
+	cores []coreStream
+}
+
+// coreStream is one core's private fault stream plus its stats shard. Only
+// that core's process touches it, so wave-concurrent segments never race.
+type coreStream struct {
+	state     uint64
+	decisions uint64
+	delays    [NumRoutes]uint64
+	stalls    uint64
 }
 
 // NewInjector builds an injector for the configuration.
 func NewInjector(cfg Config) *Injector {
 	return &Injector{cfg: cfg, state: cfg.Seed}
+}
+
+// mix64 is the splitmix64 finalizer, used to derive well-separated per-core
+// seeds from the configured seed.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// BindCores sizes the per-core fault streams. The platform calls it once at
+// machine build, before any core-parameterized draw; each core's stream is
+// seeded independently of the others and of the global stream. Nil-safe.
+func (in *Injector) BindCores(n int) {
+	if in == nil {
+		return
+	}
+	in.cores = make([]coreStream, n)
+	for c := range in.cores {
+		in.cores[c].state = mix64(in.cfg.Seed ^ 0x9e3779b97f4a7c15*uint64(c+1))
+	}
 }
 
 // Config returns the injector's configuration. Nil-safe (zero Config).
@@ -230,12 +270,22 @@ func (in *Injector) Enabled() bool {
 	return in != nil && in.cfg.Spec.Enabled()
 }
 
-// Stats returns a snapshot of the decision counters. Nil-safe.
+// Stats returns a snapshot of the decision counters, summing the per-core
+// stream shards into the global totals. Nil-safe.
 func (in *Injector) Stats() Stats {
 	if in == nil {
 		return Stats{}
 	}
-	return in.stats
+	s := in.stats
+	for c := range in.cores {
+		cs := &in.cores[c]
+		s.Decisions += cs.decisions
+		s.Stalls += cs.stalls
+		for r := 0; r < int(NumRoutes); r++ {
+			s.Delays[r] += cs.delays[r]
+		}
+	}
+	return s
 }
 
 // next advances the splitmix64 stream.
@@ -270,6 +320,54 @@ func (in *Injector) DelayCycles(r Route) uint64 {
 	}
 	in.stats.Delays[r]++
 	return rs.DelayCycles
+}
+
+// nextOn advances one core's private splitmix64 stream.
+func (cs *coreStream) next() uint64 {
+	cs.state += 0x9e3779b97f4a7c15
+	return mix64(cs.state)
+}
+
+// rollOn draws one decision from a core stream; zero probability consumes
+// no randomness, mirroring roll.
+func (cs *coreStream) roll(permille uint32) bool {
+	if permille == 0 {
+		return false
+	}
+	cs.decisions++
+	return cs.next()%1000 < uint64(permille)
+}
+
+// DelayCyclesOn is DelayCycles drawn from the given core's private stream.
+// Compute-path call sites (DDR and MPB latency models) use it so the draw
+// sequence is a function of the core's own operation order only — the
+// property that keeps wave-parallel dispatch bit-identical to serial.
+// Requires BindCores; nil-safe.
+func (in *Injector) DelayCyclesOn(core int, r Route) uint64 {
+	if in == nil {
+		return 0
+	}
+	rs := &in.cfg.Spec.Routes[r]
+	cs := &in.cores[core]
+	if !cs.roll(rs.DelayPermille) {
+		return 0
+	}
+	cs.delays[r]++
+	return rs.DelayCycles
+}
+
+// StallCyclesOn is StallCycles drawn from the given core's private stream.
+// Requires BindCores; nil-safe.
+func (in *Injector) StallCyclesOn(core int) uint64 {
+	if in == nil {
+		return 0
+	}
+	cs := &in.cores[core]
+	if !cs.roll(in.cfg.Spec.StallPermille) {
+		return 0
+	}
+	cs.stalls++
+	return in.cfg.Spec.StallCycles
 }
 
 // Drop reports whether a packet on the route is lost. Nil-safe.

@@ -10,15 +10,24 @@ package phys
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // Mem is the off-die DDR3 memory: a flat physical address space backed by
 // lazily allocated frames so that a simulated gigabyte costs host memory
 // only where it is touched.
+//
+// Frame pointers are atomic because the engine's wave-parallel dispatch
+// runs cores' pure compute segments — including their optimistic DDR data
+// path — concurrently. Distinct cores touch distinct frames (page
+// ownership is single-writer, and private regions don't overlap), so the
+// byte arrays themselves need no locking; only the lazy materialization of
+// a frame slot must not tear against a concurrent load of the same slot.
+// A lost CAS simply adopts the winner's (identical, all-zero) frame.
 type Mem struct {
 	size      uint64
 	frameSize uint32
-	frames    [][]byte
+	frames    []atomic.Pointer[[]byte]
 }
 
 // NewMem creates a memory of the given size with the given frame size.
@@ -30,8 +39,30 @@ func NewMem(size uint64, frameSize uint32) *Mem {
 	return &Mem{
 		size:      size,
 		frameSize: frameSize,
-		frames:    make([][]byte, size/uint64(frameSize)),
+		frames:    make([]atomic.Pointer[[]byte], size/uint64(frameSize)),
 	}
+}
+
+// frame returns the backing bytes of frame pfn, or nil if unmaterialized.
+func (m *Mem) frame(pfn uint32) []byte {
+	if p := m.frames[pfn].Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// materialize returns frame pfn's backing bytes, allocating them (zeroed)
+// if absent. Concurrent materializations of the same frame race benignly:
+// the CAS loser discards its allocation and adopts the winner's.
+func (m *Mem) materialize(pfn uint32) []byte {
+	if p := m.frames[pfn].Load(); p != nil {
+		return *p
+	}
+	f := make([]byte, m.frameSize)
+	if m.frames[pfn].CompareAndSwap(nil, &f) {
+		return f
+	}
+	return *m.frames[pfn].Load()
 }
 
 // Size returns the physical address space size in bytes.
@@ -60,7 +91,7 @@ func (m *Mem) Read(paddr uint32, dst []byte) {
 		if n > len(dst) {
 			n = len(dst)
 		}
-		if f := m.frames[pfn]; f != nil {
+		if f := m.frame(pfn); f != nil {
 			copy(dst[:n], f[off:])
 		} else {
 			for i := 0; i < n; i++ {
@@ -83,12 +114,7 @@ func (m *Mem) Write(paddr uint32, src []byte) {
 		if n > len(src) {
 			n = len(src)
 		}
-		f := m.frames[pfn]
-		if f == nil {
-			f = make([]byte, m.frameSize)
-			m.frames[pfn] = f
-		}
-		copy(f[off:], src[:n])
+		copy(m.materialize(pfn)[off:], src[:n])
 		src = src[n:]
 		paddr += uint32(n)
 	}
@@ -127,7 +153,7 @@ func (m *Mem) ZeroFrame(pfn uint32) {
 	if uint64(pfn) >= uint64(len(m.frames)) {
 		panic(fmt.Sprintf("phys: frame %d out of range", pfn))
 	}
-	if f := m.frames[pfn]; f != nil {
+	if f := m.frame(pfn); f != nil {
 		for i := range f {
 			f[i] = 0
 		}
@@ -137,8 +163,8 @@ func (m *Mem) ZeroFrame(pfn uint32) {
 // BackedFrames reports how many frames are materialized (test/diagnostics).
 func (m *Mem) BackedFrames() int {
 	n := 0
-	for _, f := range m.frames {
-		if f != nil {
+	for i := range m.frames {
+		if m.frames[i].Load() != nil {
 			n++
 		}
 	}

@@ -145,7 +145,12 @@ type Chip struct {
 	// is the charged in-simulation read.
 	crashed []bool
 
-	meshStats MeshStats
+	// meshStats is sharded per core: the latency models mutate it from
+	// compute context (cache fetches, write-backs), which wave-parallel
+	// dispatch runs concurrently across cores. Each core's model only ever
+	// touches its own shard; engine-context paths (retransmission timers)
+	// charge the originating core's shard. MeshStats() sums them.
+	meshStats []MeshStats
 }
 
 // MeshStats counts mesh transactions by class, with the hop distribution.
@@ -163,16 +168,34 @@ type MeshStats struct {
 	HopHist [16]uint64
 }
 
-// MeshStats returns a snapshot of the chip's mesh transaction counters.
-func (ch *Chip) MeshStats() MeshStats { return ch.meshStats }
-
-// countHops records one mesh transaction of the given distance.
-func (ch *Chip) countHops(hops int) {
-	ch.meshStats.HopSum += uint64(hops)
-	if hops >= len(ch.meshStats.HopHist) {
-		hops = len(ch.meshStats.HopHist) - 1
+// MeshStats returns a snapshot of the chip's mesh transaction counters,
+// summed over the per-core shards.
+func (ch *Chip) MeshStats() MeshStats {
+	var s MeshStats
+	for c := range ch.meshStats {
+		cs := &ch.meshStats[c]
+		s.DDRReads += cs.DDRReads
+		s.DDRWrites += cs.DDRWrites
+		s.MPBAccesses += cs.MPBAccesses
+		s.TASAccesses += cs.TASAccesses
+		s.IPIs += cs.IPIs
+		s.HopSum += cs.HopSum
+		for i := range cs.HopHist {
+			s.HopHist[i] += cs.HopHist[i]
+		}
 	}
-	ch.meshStats.HopHist[hops]++
+	return s
+}
+
+// countHops records one mesh transaction of the given distance against the
+// issuing core's shard.
+func (ch *Chip) countHops(core, hops int) {
+	cs := &ch.meshStats[core]
+	cs.HopSum += uint64(hops)
+	if hops >= len(cs.HopHist) {
+		hops = len(cs.HopHist) - 1
+	}
+	cs.HopHist[hops]++
 }
 
 // LastMeshShare implements cpu.MeshShareSource.
@@ -194,6 +217,10 @@ func (ch *Chip) Tracer() *trace.Buffer { return ch.tracer }
 func (ch *Chip) SetFaultInjector(in *faults.Injector, harden bool) {
 	ch.faults = in
 	ch.harden = in != nil && harden
+	// The compute-path fault classes (DDR/MPB delay, stalls) draw from
+	// per-core streams so their sequences do not depend on cross-core
+	// interleaving — the property wave-parallel dispatch relies on.
+	in.BindCores(len(ch.cores))
 }
 
 // FaultInjector returns the installed injector (possibly nil; faults
@@ -231,8 +258,8 @@ func (ch *Chip) CoreCrashed(id int) bool { return ch.crashed[id] }
 // behalf of core: a register access in the system FPGA, priced like a
 // test-and-set (register cost plus a mesh round trip to the FPGA tile).
 func (ch *Chip) ProbeAlive(core, target int) bool {
-	ch.countHops(ch.gicHops(core))
-	ch.meshStats.TASAccesses++
+	ch.countHops(core, ch.gicHops(core))
+	ch.meshStats[core].TASAccesses++
 	ch.syncCharge(core, ch.coreClock().Cycles(ch.cfg.Lat.TASCoreCycles)+
 		ch.mesh.RoundTrip(ch.gicHops(core)))
 	return !ch.crashed[target]
@@ -258,17 +285,18 @@ func New(eng *sim.Engine, cfg Config) (*Chip, error) {
 		return nil, fmt.Errorf("scc: zero memory clock")
 	}
 	ch := &Chip{
-		cfg:      cfg,
-		eng:      eng,
-		mesh:     m,
-		layout:   layout,
-		mem:      phys.NewMem(layout.Total(), pgtable.PageSize),
-		mpb:      phys.NewMPB(n, phys.MPBBytesPerCore),
-		tas:      phys.NewTAS(n),
-		gic:      gic.New(n),
-		cores:    make([]*cpu.Core, n),
-		lastMesh: make([]sim.Duration, n),
-		crashed:  make([]bool, n),
+		cfg:       cfg,
+		eng:       eng,
+		mesh:      m,
+		layout:    layout,
+		mem:       phys.NewMem(layout.Total(), pgtable.PageSize),
+		mpb:       phys.NewMPB(n, phys.MPBBytesPerCore),
+		tas:       phys.NewTAS(n),
+		gic:       gic.New(n),
+		cores:     make([]*cpu.Core, n),
+		lastMesh:  make([]sim.Duration, n),
+		crashed:   make([]bool, n),
+		meshStats: make([]MeshStats, n),
 	}
 	// MPB layout: n mailbox slots of one line each, then the scratchpad
 	// (16-bit entry per shared page, distributed round-robin over cores).
@@ -333,6 +361,7 @@ func (ch *Chip) Boot(id int, body func(*cpu.Core)) *cpu.Core {
 	proc := ch.eng.NewProc(fmt.Sprintf("core%d", id), 0, func(p *sim.Proc) {
 		body(c)
 	})
+	proc.SetWaveLookahead(ch.WaveLookahead(id))
 	c.Bind(proc)
 	base := ch.layout.PrivateBase(id)
 	for off := uint32(0); off < ch.cfg.PrivateMemPerCore; off += pgtable.PageSize {
@@ -340,6 +369,24 @@ func (ch *Chip) Boot(id int, body func(*cpu.Core)) *cpu.Core {
 			pgtable.Present|pgtable.Writable|pgtable.WriteThrough)
 	}
 	return c
+}
+
+// WaveLookahead returns core id's conservative-PDES influence floor: the
+// minimum simulated delay between any other core initiating a cross-core
+// influence and that influence becoming observable at this core. On this
+// chip the cheapest influence is an IPI — mail deposits and shared-memory
+// stores only matter once the receiver is nudged or polls (polling parks
+// on its own sync points, which the wave horizon already bounds) — so the
+// floor is the sender's raise cost (with the sender, worst case, sitting
+// right at the GIC tile: zero raise hops), GIC processing, and one flit
+// from the GIC to this core's tile. The raise and GIC terms are fixed
+// costs that apply even at zero hops, so the floor is positive and the
+// engine can run this core's pure segments ahead of its peers' next wake
+// by at least this much.
+func (ch *Chip) WaveLookahead(core int) sim.Duration {
+	return ch.coreClock().Cycles(ch.cfg.Lat.IPIRaiseCoreCycles) +
+		ch.cfg.Mesh.Clock.Cycles(ch.cfg.Lat.GICCycles) +
+		ch.mesh.OneWay(ch.gicHops(core))
 }
 
 // --- Memory bus (cpu.MemoryBus): optimistic data path --------------------
@@ -351,8 +398,8 @@ func (ch *Chip) coreClock() sim.Clock { return ch.cfg.Core.Clock }
 func (ch *Chip) ddrReadLatency(core int, paddr uint32) sim.Duration {
 	mc := ch.layout.ControllerOf(paddr)
 	hops := ch.mesh.HopsToController(core, mc)
-	ch.meshStats.DDRReads++
-	ch.countHops(hops)
+	ch.meshStats[core].DDRReads++
+	ch.countHops(core, hops)
 	mesh := ch.mesh.RoundTrip(hops)
 	ch.lastMesh[core] = mesh
 	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles) +
@@ -368,8 +415,8 @@ func (ch *Chip) ddrReadLatency(core int, paddr uint32) sim.Duration {
 func (ch *Chip) ddrWordWriteLatency(core int, paddr uint32) sim.Duration {
 	mc := ch.layout.ControllerOf(paddr)
 	hops := ch.mesh.HopsToController(core, mc)
-	ch.meshStats.DDRWrites++
-	ch.countHops(hops)
+	ch.meshStats[core].DDRWrites++
+	ch.countHops(core, hops)
 	mesh := ch.mesh.RoundTrip(hops)
 	ch.lastMesh[core] = mesh
 	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles) +
@@ -383,8 +430,8 @@ func (ch *Chip) ddrWordWriteLatency(core int, paddr uint32) sim.Duration {
 func (ch *Chip) ddrLineWriteLatency(core int, paddr uint32) sim.Duration {
 	mc := ch.layout.ControllerOf(paddr)
 	hops := ch.mesh.HopsToController(core, mc)
-	ch.meshStats.DDRWrites++
-	ch.countHops(hops)
+	ch.meshStats[core].DDRWrites++
+	ch.countHops(core, hops)
 	mesh := ch.mesh.OneWay(hops)
 	ch.lastMesh[core] = mesh
 	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles/2) +

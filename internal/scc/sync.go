@@ -28,7 +28,7 @@ type TASHook interface {
 
 func (ch *Chip) syncCharge(core int, lat sim.Duration) *cpu.Core {
 	c := ch.cores[core]
-	if cyc := ch.faults.StallCycles(); cyc != 0 {
+	if cyc := ch.faults.StallCyclesOn(core); cyc != 0 {
 		ch.tracer.Emit(c.Now(), core, trace.KindFaultInject,
 			uint64(faults.NumRoutes), uint64(faults.Stall))
 		lat += ch.coreClock().Cycles(cyc)
@@ -42,7 +42,7 @@ func (ch *Chip) syncCharge(core int, lat sim.Duration) *cpu.Core {
 // injectDelay draws a fault-injected mesh delay for the route (zero without
 // an injector) and traces the injection.
 func (ch *Chip) injectDelay(core int, r faults.Route) sim.Duration {
-	cyc := ch.faults.DelayCycles(r)
+	cyc := ch.faults.DelayCyclesOn(core, r)
 	if cyc == 0 {
 		return 0
 	}
@@ -56,8 +56,8 @@ func (ch *Chip) injectDelay(core int, r faults.Route) sim.Duration {
 // local fixed cost still applies, as measured on the SCC).
 func (ch *Chip) mpbLatency(core, owner int) sim.Duration {
 	hops := ch.mesh.HopsCores(core, owner)
-	ch.meshStats.MPBAccesses++
-	ch.countHops(hops)
+	ch.meshStats[core].MPBAccesses++
+	ch.countHops(core, hops)
 	return ch.coreClock().Cycles(ch.cfg.Lat.MPBCoreCycles) +
 		ch.mesh.RoundTrip(hops) +
 		ch.injectDelay(core, faults.MPB)
@@ -108,8 +108,8 @@ func (ch *Chip) MPBSetByte(core, owner, off int, v byte) {
 
 func (ch *Chip) tasLatency(core, reg int) sim.Duration {
 	hops := ch.mesh.HopsCores(core, reg)
-	ch.meshStats.TASAccesses++
-	ch.countHops(hops)
+	ch.meshStats[core].TASAccesses++
+	ch.countHops(core, hops)
 	return ch.coreClock().Cycles(ch.cfg.Lat.TASCoreCycles) +
 		ch.mesh.RoundTrip(hops)
 }
@@ -227,8 +227,8 @@ func (ch *Chip) CheckMailCost(core int) {
 func (ch *Chip) RaiseIPI(from, to int) {
 	c := ch.cores[from]
 	ch.tracer.Emit(c.Now(), from, trace.KindIPI, uint64(to), 0)
-	ch.meshStats.IPIs++
-	ch.countHops(ch.gicHops(from) + ch.gicHops(to))
+	ch.meshStats[from].IPIs++
+	ch.countHops(from, ch.gicHops(from)+ch.gicHops(to))
 	c.Sync()
 	raise := ch.coreClock().Cycles(ch.cfg.Lat.IPIRaiseCoreCycles) +
 		ch.mesh.OneWay(ch.gicHops(from))
@@ -261,8 +261,8 @@ func (ch *Chip) RaiseIPI(from, to int) {
 // timer-driven recovery path, so it charges no core time and is itself
 // fault-free.
 func (ch *Chip) NudgeIPI(from, to int) {
-	ch.meshStats.IPIs++
-	ch.countHops(ch.gicHops(from) + ch.gicHops(to))
+	ch.meshStats[from].IPIs++
+	ch.countHops(from, ch.gicHops(from)+ch.gicHops(to))
 	deliver := ch.cfg.Mesh.Clock.Cycles(ch.cfg.Lat.GICCycles) +
 		ch.mesh.OneWay(ch.gicHops(to))
 	target := ch.cores[to]

@@ -1,0 +1,521 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// recorder collects observation strings at globally ordered points (post-
+// Sync effect context, engine events). Serial and wave runs must produce
+// identical streams.
+type recorder struct {
+	events []string
+}
+
+func (r *recorder) note(format string, args ...any) {
+	r.events = append(r.events, fmt.Sprintf(format, args...))
+}
+
+// runScenario builds and runs one scenario with the given worker count
+// (0 = serial) and returns the record stream, the final engine clock, and
+// the final sequence counter — the three things that must be bit-identical
+// across dispatch modes.
+func runScenario(workers int, build func(e *Engine, rec *recorder)) ([]string, Time, uint64) {
+	e := NewEngine()
+	if workers > 1 {
+		e.EnableIntra(workers, nil)
+	}
+	rec := &recorder{}
+	build(e, rec)
+	end := e.Run()
+	e.Shutdown()
+	return rec.events, end, e.seq
+}
+
+// assertEquivalent runs the scenario serially and with 2 and 4 workers and
+// requires bit-identical outcomes.
+func assertEquivalent(t *testing.T, build func(e *Engine, rec *recorder)) {
+	t.Helper()
+	base, baseEnd, baseSeq := runScenario(0, build)
+	if len(base) == 0 {
+		t.Fatal("scenario recorded nothing; test proves nothing")
+	}
+	for _, workers := range []int{2, 4} {
+		got, end, seq := runScenario(workers, build)
+		if end != baseEnd {
+			t.Fatalf("workers=%d: final clock %d, serial %d", workers, end, baseEnd)
+		}
+		if seq != baseSeq {
+			t.Fatalf("workers=%d: final seq %d, serial %d", workers, seq, baseSeq)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d records, serial %d\nparallel: %v\nserial:   %v",
+				workers, len(got), len(base), got, base)
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: record %d = %q, serial %q", workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestWaveEquivalenceUniformCompute: pure compute with periodic effect
+// syncs — the bread-and-butter wave shape (all cores crunching between
+// barriers).
+func TestWaveEquivalenceUniformCompute(t *testing.T) {
+	assertEquivalent(t, func(e *Engine, rec *recorder) {
+		for i := 0; i < 6; i++ {
+			i := i
+			step := Duration(30 + 17*i)
+			e.NewProc(fmt.Sprintf("p%d", i), 0, func(p *Proc) {
+				p.SetQuantum(100)
+				p.SetWaveLookahead(700)
+				for k := 0; k < 120; k++ {
+					p.Advance(step)
+					if k%13 == 12 {
+						p.Sync() // effect park: globally ordered
+						rec.note("p%d effect k=%d now=%d local=%d", i, k, e.Now(), p.LocalTime())
+					}
+				}
+				p.Sync()
+				rec.note("p%d done now=%d", i, e.Now())
+			})
+		}
+	})
+}
+
+// TestWaveEquivalenceProducersConsumer mixes pure compute with signal
+// traffic and an indefinitely waiting consumer.
+func TestWaveEquivalenceProducersConsumer(t *testing.T) {
+	assertEquivalent(t, func(e *Engine, rec *recorder) {
+		sig := NewSignal(e)
+		mail := 0
+		for i := 0; i < 5; i++ {
+			i := i
+			step := Duration(40 + 23*i)
+			e.NewProc(fmt.Sprintf("prod%d", i), 0, func(p *Proc) {
+				p.SetQuantum(90)
+				p.SetWaveLookahead(400)
+				for k := 0; k < 40; k++ {
+					p.Advance(step)
+					if k%9 == 8 {
+						p.Sync()
+						mail++
+						sig.Fire(p.LocalTime())
+						rec.note("prod%d fire mail=%d now=%d", i, mail, e.Now())
+					}
+				}
+			})
+		}
+		e.NewProc("consumer", 0, func(p *Proc) {
+			for mail < 20 {
+				sig.Wait(p)
+			}
+			rec.note("consumer saw %d at %d", mail, e.Now())
+		})
+	})
+}
+
+// TestWaveEquivalenceHaltMidRun crash-halts one proc from an engine event
+// while the rest keep computing; the halt must land between the same two
+// segments in both modes.
+func TestWaveEquivalenceHaltMidRun(t *testing.T) {
+	assertEquivalent(t, func(e *Engine, rec *recorder) {
+		var victim *Proc
+		for i := 0; i < 4; i++ {
+			i := i
+			pp := e.NewProc(fmt.Sprintf("w%d", i), 0, func(p *Proc) {
+				p.SetQuantum(80)
+				p.SetWaveLookahead(300)
+				for k := 0; k < 60; k++ {
+					p.Advance(Duration(25 + 11*i))
+					if k%15 == 14 {
+						p.Sync()
+						rec.note("w%d effect k=%d now=%d", i, k, e.Now())
+					}
+				}
+			})
+			if i == 2 {
+				victim = pp
+			}
+		}
+		e.At(1200, func() {
+			victim.Halt()
+			rec.note("halt at %d", e.Now())
+		})
+	})
+}
+
+// TestWaveEquivalenceProcAt schedules engine callbacks from inside pure
+// segments via Proc.At; the callbacks must fire at identical (time, seq)
+// positions in both modes.
+func TestWaveEquivalenceProcAt(t *testing.T) {
+	assertEquivalent(t, func(e *Engine, rec *recorder) {
+		for i := 0; i < 4; i++ {
+			i := i
+			e.NewProc(fmt.Sprintf("q%d", i), 0, func(p *Proc) {
+				p.SetQuantum(100)
+				p.SetWaveLookahead(600)
+				for k := 0; k < 50; k++ {
+					p.Advance(Duration(35 + 13*i))
+					if k%11 == 7 {
+						// Mid-segment deadline request, the WaitFor/WaitUntil
+						// pattern: schedule a callback at a future local time.
+						at := p.LocalTime() + 500
+						k := k
+						p.At(at, func() {
+							rec.note("q%d deadline k=%d fires now=%d", i, k, e.Now())
+						})
+					}
+				}
+				p.Sync()
+				rec.note("q%d done now=%d", i, e.Now())
+			})
+		}
+	})
+}
+
+// TestWaveEquivalenceZeroQuantumInterleaved: an unbounded (zero-quantum)
+// proc runs to completion in one dispatch while bounded procs wave; the
+// unbounded proc's effect points must interleave identically.
+func TestWaveEquivalenceZeroQuantumInterleaved(t *testing.T) {
+	assertEquivalent(t, func(e *Engine, rec *recorder) {
+		e.NewProc("unbounded", 0, func(p *Proc) {
+			for k := 0; k < 10; k++ {
+				p.Advance(333)
+				p.Sync()
+				rec.note("unbounded effect k=%d now=%d", k, e.Now())
+			}
+		})
+		for i := 0; i < 3; i++ {
+			i := i
+			e.NewProc(fmt.Sprintf("b%d", i), 0, func(p *Proc) {
+				p.SetQuantum(70)
+				p.SetWaveLookahead(350)
+				for k := 0; k < 80; k++ {
+					p.Advance(Duration(20 + 9*i))
+					if k%20 == 19 {
+						p.Sync()
+						rec.note("b%d effect k=%d now=%d", i, k, e.Now())
+					}
+				}
+			})
+		}
+	})
+}
+
+// TestWaveEquivalenceWaveReadyGate: a proc whose waveReady predicate says
+// no must be dispatched serially, and flipping the gate from an engine
+// event must behave identically in both modes.
+func TestWaveEquivalenceWaveReadyGate(t *testing.T) {
+	assertEquivalent(t, func(e *Engine, rec *recorder) {
+		gate := true // toggled from engine events (serial context only)
+		for i := 0; i < 4; i++ {
+			i := i
+			p := e.NewProc(fmt.Sprintf("g%d", i), 0, func(p *Proc) {
+				p.SetQuantum(60)
+				p.SetWaveLookahead(250)
+				for k := 0; k < 70; k++ {
+					p.Advance(Duration(15 + 7*i))
+					if k%23 == 22 {
+						p.Sync()
+						rec.note("g%d effect k=%d now=%d", i, k, e.Now())
+					}
+				}
+			})
+			if i == 1 {
+				p.SetWaveReady(func() bool { return gate })
+			}
+		}
+		e.At(500, func() { gate = false; rec.note("gate closed at %d", e.Now()) })
+		e.At(1500, func() { gate = true; rec.note("gate opened at %d", e.Now()) })
+	})
+}
+
+// fakeObserver implements WaveObserver the way trace.Buffer does: per-shard
+// buffers with monotonic positions, spliced into a main stream at flush.
+type fakeObserver struct {
+	inWave bool
+	shards [][]string
+	bases  []int
+	main   *[]string
+}
+
+func newFakeObserver(shards int, main *[]string) *fakeObserver {
+	return &fakeObserver{
+		shards: make([][]string, shards),
+		bases:  make([]int, shards),
+		main:   main,
+	}
+}
+
+func (o *fakeObserver) WaveBegin() { o.inWave = true }
+func (o *fakeObserver) WaveEnd()   { o.inWave = false }
+
+func (o *fakeObserver) SegmentMark(shard int) int {
+	return o.bases[shard] + len(o.shards[shard])
+}
+
+func (o *fakeObserver) SegmentFlush(shard int, from, to int) {
+	if from != o.bases[shard] {
+		panic(fmt.Sprintf("non-contiguous flush: from %d, base %d", from, o.bases[shard]))
+	}
+	n := to - from
+	*o.main = append(*o.main, o.shards[shard][:n]...)
+	o.shards[shard] = o.shards[shard][n:]
+	o.bases[shard] = to
+}
+
+// emit routes like trace.Buffer will: to the shard during a wave's
+// concurrent section, straight to the main stream otherwise.
+func (o *fakeObserver) emit(shard int, s string) {
+	if o.inWave {
+		o.shards[shard] = append(o.shards[shard], s)
+		return
+	}
+	*o.main = append(*o.main, s)
+}
+
+// TestWaveObserverSplicesSerialOrder drives emissions from inside pure
+// segments (the trace.Emit-from-compute case) and requires the spliced
+// stream to match the serial emission order exactly.
+func TestWaveObserverSplicesSerialOrder(t *testing.T) {
+	run := func(workers int) []string {
+		e := NewEngine()
+		var main []string
+		obs := newFakeObserver(4, &main)
+		if workers > 1 {
+			e.EnableIntra(workers, obs)
+		}
+		for i := 0; i < 4; i++ {
+			i := i
+			e.NewProc(fmt.Sprintf("c%d", i), 0, func(p *Proc) {
+				p.SetQuantum(110)
+				p.SetWaveShard(i)
+				p.SetWaveLookahead(800)
+				for k := 0; k < 90; k++ {
+					p.Advance(Duration(28 + 19*i))
+					if k%5 == 0 {
+						// Emission from (potentially) inside a pure segment.
+						obs.emit(i, fmt.Sprintf("c%d k=%d local=%d", i, k, p.LocalTime()))
+					}
+					if k%31 == 30 {
+						p.Sync()
+						obs.emit(i, fmt.Sprintf("c%d sync now=%d", i, e.Now()))
+					}
+				}
+			})
+		}
+		e.Run()
+		e.Shutdown()
+		return main
+	}
+	serial := run(0)
+	if len(serial) == 0 {
+		t.Fatal("no emissions recorded")
+	}
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d emissions, serial %d", workers, len(got), len(serial))
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: emission %d = %q, serial %q", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestWaveRunUntilBoundary: waves must respect a finite RunUntil limit —
+// no segment may run past it, so mid-run state (clock, pending count)
+// matches serial at the boundary.
+func TestWaveRunUntilBoundary(t *testing.T) {
+	run := func(workers int) (Time, int, Time, []string) {
+		e := NewEngine()
+		if workers > 1 {
+			e.EnableIntra(workers, nil)
+		}
+		rec := &recorder{}
+		var locals []*Proc
+		for i := 0; i < 3; i++ {
+			i := i
+			locals = append(locals, e.NewProc(fmt.Sprintf("r%d", i), 0, func(p *Proc) {
+				p.SetQuantum(50)
+				p.SetWaveLookahead(10000)
+				for k := 0; k < 100; k++ {
+					p.Advance(Duration(30 + 8*i))
+					if k%33 == 32 {
+						p.Sync()
+						rec.note("r%d effect now=%d", i, e.Now())
+					}
+				}
+			}))
+		}
+		mid := e.RunUntil(1000)
+		// Mid-run local clocks are observable state: serial and wave runs
+		// must agree at the boundary.
+		for i, p := range locals {
+			rec.note("mid r%d local=%d", i, p.LocalTime())
+		}
+		end := e.Run()
+		e.Shutdown()
+		return mid, e.Pending(), end, rec.events
+	}
+	sMid, sPend, sEnd, sRec := run(0)
+	for _, workers := range []int{2, 4} {
+		mid, pend, end, recs := run(workers)
+		if mid != sMid || pend != sPend || end != sEnd {
+			t.Fatalf("workers=%d: mid=%d pend=%d end=%d, serial mid=%d pend=%d end=%d",
+				workers, mid, pend, end, sMid, sPend, sEnd)
+		}
+		if len(recs) != len(sRec) {
+			t.Fatalf("workers=%d: %d records, serial %d", workers, len(recs), len(sRec))
+		}
+		for i := range sRec {
+			if recs[i] != sRec[i] {
+				t.Fatalf("workers=%d: record %d = %q, serial %q", workers, i, recs[i], sRec[i])
+			}
+		}
+	}
+}
+
+// TestEngineAtFromWavePanics: the causality assertion that catches
+// unconverted Engine.At call sites inside pure segments.
+func TestEngineAtFromWavePanics(t *testing.T) {
+	e := NewEngine()
+	e.EnableIntra(2, nil)
+	panicked := make(chan any, 1)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.NewProc(fmt.Sprintf("x%d", i), 0, func(p *Proc) {
+			p.SetQuantum(40)
+			p.SetWaveLookahead(100000)
+			for k := 0; k < 30; k++ {
+				p.Advance(100)
+				if i == 0 && k == 10 {
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								panicked <- r
+							}
+						}()
+						e.At(p.LocalTime()+5, func() {})
+					}()
+				}
+			}
+		})
+	}
+	e.Run()
+	e.Shutdown()
+	select {
+	case r := <-panicked:
+		if s, ok := r.(string); !ok || !contains(s, "wave-parallel context") {
+			t.Fatalf("panic = %v, want wave-parallel context message", r)
+		}
+	default:
+		t.Fatal("Engine.At from a wave segment did not panic")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Quantum/lookahead edge cases (serial semantics the horizon rests on) ---
+
+// TestSetQuantumMidAdvance changes the quantum between Advance calls; the
+// new bound must take effect for the very next Advance.
+func TestSetQuantumMidAdvance(t *testing.T) {
+	e := NewEngine()
+	var syncs []Time
+	e.NewProc("p", 0, func(p *Proc) {
+		p.SetQuantum(100)
+		p.Advance(150) // exceeds 100: parks at 150
+		p.SetQuantum(1000)
+		p.Advance(900) // lookahead 900 <= 1000: no park
+		if e.Now() != 150 {
+			syncs = append(syncs, ^Time(0))
+		}
+		p.Advance(200) // lookahead 1100 > 1000: parks at 1250
+		p.SetQuantum(50)
+		p.Advance(60) // new tight bound: parks at 1310
+		p.Sync()
+	})
+	trackSyncs := func() {}
+	_ = trackSyncs
+	e.Run()
+	if len(syncs) != 0 {
+		t.Fatal("quantum 1000 did not suppress the park")
+	}
+	if e.Now() != 1310 {
+		t.Fatalf("final clock %d, want 1310", e.Now())
+	}
+}
+
+// TestQuantumExactlyEqualToStep: a quantum exactly equal to the advance
+// step must not park (the bound is strict: lookahead > quantum), and two
+// steps must.
+func TestQuantumExactlyEqualToStep(t *testing.T) {
+	e := NewEngine()
+	parks := 0
+	e.NewProc("p", 0, func(p *Proc) {
+		p.SetSyncHook(func() { parks++ })
+		p.SetQuantum(100)
+		p.Advance(100) // lookahead == quantum: stays local
+		if e.Now() != 0 {
+			t.Errorf("engine advanced to %d on an exactly-quantum step", e.Now())
+		}
+		p.Advance(100) // lookahead 200 > 100: parks at 200
+		if e.Now() != 200 {
+			t.Errorf("engine at %d after second step, want 200", e.Now())
+		}
+	})
+	e.Run()
+	if parks != 1 {
+		t.Fatalf("parks = %d, want exactly 1", parks)
+	}
+}
+
+// TestZeroQuantumUnbounded: zero quantum means unbounded lookahead — the
+// proc must never park on Advance no matter how far it runs ahead, while a
+// bounded sibling interleaves normally.
+func TestZeroQuantumUnbounded(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.NewProc("free", 0, func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			p.Advance(1000)
+		}
+		if e.Now() != 0 {
+			t.Errorf("unbounded proc advanced the engine to %d", e.Now())
+		}
+		p.Sync()
+		order = append(order, fmt.Sprintf("free@%d", e.Now()))
+	})
+	e.NewProc("tight", 0, func(p *Proc) {
+		p.SetQuantum(10)
+		for i := 0; i < 5; i++ {
+			p.Advance(100)
+			order = append(order, fmt.Sprintf("tight@%d", p.LocalTime()))
+		}
+	})
+	e.Run()
+	// tight parks at 100..500 and records after each park; free syncs at
+	// 1000000 last.
+	want := []string{"tight@100", "tight@200", "tight@300", "tight@400", "tight@500", "free@1000000"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

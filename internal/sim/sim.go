@@ -79,6 +79,12 @@ type Engine struct {
 	// running reports whether Run is currently dispatching events. Procs may
 	// only execute while the engine runs.
 	running bool
+	// cur is the proc whose event callback is currently executing, kept for
+	// diagnostics (panic messages name the offending process).
+	cur *Proc
+	// intra, when non-nil, switches RunUntil to conservative-PDES wave
+	// dispatch; see pdes.go. Nil keeps the engine strictly serial.
+	intra *intraState
 }
 
 // NewEngine returns an engine with its clock at zero. The event-queue
@@ -125,15 +131,44 @@ func (e *Engine) Now() Time { return e.now }
 // it would violate causality and mask a modeling bug. Scheduling at the
 // current time takes the queue's append fast path (see queue.go).
 func (e *Engine) At(t Time, fn func()) {
+	if e.intra != nil && e.intra.active.Load() {
+		panic(fmt.Sprintf("sim: Engine.At(%d) from wave-parallel context; "+
+			"proc-context schedulers must use Proc.At", t))
+	}
 	if t < e.now {
-		panic(fmt.Sprintf("sim: event scheduled at %d before now %d", t, e.now))
+		panic(fmt.Sprintf("sim: event scheduled at %d before now %d%s", t, e.now, e.curName()))
 	}
 	e.seq++
-	if e.fast != nil {
-		e.fast.push(event{at: t, seq: e.seq, fn: fn}, e.now)
-	} else {
-		e.ref.push(event{at: t, seq: e.seq, fn: fn})
+	e.pushEvent(event{at: t, seq: e.seq, fn: fn})
+}
+
+// curName names the proc whose callback is executing, for panic messages.
+func (e *Engine) curName() string {
+	if e.cur != nil {
+		return " by proc " + e.cur.name
 	}
+	return ""
+}
+
+// pushEvent inserts an event whose sequence number is already assigned.
+func (e *Engine) pushEvent(ev event) {
+	if e.fast != nil {
+		e.fast.push(ev, e.now)
+	} else {
+		e.ref.push(ev)
+	}
+}
+
+// scheduleSync enqueues a data-carrying wake for p at time at. Called from
+// the proc goroutine while the engine is blocked in its dispatch handshake,
+// so it observes a stable engine clock.
+func (e *Engine) scheduleSync(at Time, p *Proc, wakeSeq uint64, pure bool) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d before now %d by proc %s",
+			at, e.now, p.name))
+	}
+	e.seq++
+	e.pushEvent(event{at: at, seq: e.seq, proc: p, wakeSeq: wakeSeq, pure: pure})
 }
 
 // After schedules fn to run d after the current time.
@@ -157,14 +192,33 @@ func (e *Engine) RunUntil(limit Time) Time {
 		if !ok || head.at > limit {
 			break
 		}
+		if e.intra != nil && waveEligible(head) {
+			e.runWave(limit)
+			continue
+		}
 		ev := e.qPop()
 		if ev.at < e.now {
-			panic("sim: time went backwards")
+			panic(fmt.Sprintf("sim: time went backwards: event at %d behind clock %d%s",
+				ev.at, e.now, e.curName()))
 		}
 		e.now = ev.at
-		ev.fn()
+		e.dispatchEvent(ev)
 	}
 	return e.now
+}
+
+// dispatchEvent runs one dequeued event: a closure, or a data-carrying
+// process wake (fn == nil) that resumes the process if the wake is still
+// live — the same guard the closure-based wakes apply.
+func (e *Engine) dispatchEvent(ev event) {
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	p := ev.proc
+	if p.wakeSeq == ev.wakeSeq && (p.state == procParked || p.state == procWaiting) {
+		p.dispatch()
+	}
 }
 
 // Pending reports the number of queued events.
