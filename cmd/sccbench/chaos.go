@@ -23,13 +23,26 @@ const chaosDumpFile = "chaos-dump.txt"
 // compute bit-exact results, the recovery counters show the faults were
 // real, and an identical seed replays bit-identically. On failure it writes
 // the diagnostic dump to chaos-dump.txt and returns a nonzero exit code.
-func runChaos(arg string, rounds, iters int) int {
+// A non-nil topo runs the application cells on that machine with a small
+// chip-spanning member set (see smokeMembers), putting the inter-chip link
+// under the same fault schedule; the single-chip mail cells are skipped
+// there, and the crash suite uses the topology's default worker split.
+func runChaos(arg string, rounds, iters int, topo *scc.Config) int {
 	fc, err := faults.ParseConfig(arg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sccbench: %v (presets: %s)\n", err, strings.Join(faults.Presets(), ", "))
 		return 2
 	}
 	fmt.Printf("chaos: seed %d, schedule %q\n", fc.Seed, chaosSpecName(arg))
+	appChip := chaosChip()
+	members := core.FirstN(4)
+	dirWorkers := core.FirstN(4)
+	if topo != nil {
+		appChip = bench.ShrunkChip(*topo)
+		members = smokeMembers(*topo)
+		dirWorkers = nil // the default split: all cores minus each chip's manager trio
+		fmt.Printf("chaos: %d chip(s), %d cores\n", appChip.Chips, len(members))
+	}
 
 	var dump strings.Builder
 	ok := true
@@ -73,18 +86,21 @@ func runChaos(arg string, rounds, iters int) int {
 		pass(name, r.US, r)
 	}
 
-	// Figure 6 cell (IPI at maximum distance), with a bit-identical replay.
-	r6 := bench.Fig6Chaos(rounds, &fc)
-	check("fig6 ipi", r6)
-	if r6b := bench.Fig6Chaos(rounds, &fc); r6b.US != r6.US || r6b.Faults != r6.Faults {
-		fail("fig6 replay", "same seed diverged: %.6f/%v vs %.6f/%v",
-			r6.US, r6.Faults.Injected(), r6b.US, r6b.Faults.Injected())
-	} else {
-		fmt.Printf("  %-16s %10s      ok (bit-identical)\n", "fig6 replay", "")
-	}
+	if topo == nil {
+		// Figure 6 cell (IPI at maximum distance), with a bit-identical
+		// replay.
+		r6 := bench.Fig6Chaos(rounds, &fc)
+		check("fig6 ipi", r6)
+		if r6b := bench.Fig6Chaos(rounds, &fc); r6b.US != r6.US || r6b.Faults != r6.Faults {
+			fail("fig6 replay", "same seed diverged: %.6f/%v vs %.6f/%v",
+				r6.US, r6.Faults.Injected(), r6b.US, r6b.Faults.Injected())
+		} else {
+			fmt.Printf("  %-16s %10s      ok (bit-identical)\n", "fig6 replay", "")
+		}
 
-	// Figure 7 cell (polling, 8 activated cores).
-	check("fig7 polling", bench.Fig7Chaos(rounds, 8, &fc))
+		// Figure 7 cell (polling, 8 activated cores).
+		check("fig7 polling", bench.Fig7Chaos(rounds, 8, &fc))
+	}
 
 	// Figure 9 / Laplace under both consistency models: the result must be
 	// the exact reference checksum despite the faults.
@@ -92,11 +108,11 @@ func runChaos(arg string, rounds, iters int) int {
 	if lp.Iters > 50 {
 		lp.Iters = 50 // the chaos sweep needs shape, not the full figure
 	}
-	lcfg := bench.Fig9Config{Params: lp, Chip: chaosChip()}
+	lcfg := bench.Fig9Config{Params: lp, Chip: appChip}
 	want := laplace.ReferenceChecksum(lp)
 	for _, model := range []svm.Model{svm.Strong, svm.LazyRelease} {
 		name := fmt.Sprintf("laplace %v", model)
-		r, sum := bench.Fig9Chaos(lcfg, model, 4, &fc)
+		r, sum := bench.Fig9ChaosMembers(lcfg, model, members, &fc)
 		if r.Completed && sum != want {
 			fail(name, "checksum %v != reference %v", sum, want)
 			continue
@@ -105,8 +121,8 @@ func runChaos(arg string, rounds, iters int) int {
 	}
 
 	// Laplace determinism: an identical seed must replay bit-identically.
-	rA, sumA := bench.Fig9Chaos(lcfg, svm.Strong, 4, &fc)
-	rB, sumB := bench.Fig9Chaos(lcfg, svm.Strong, 4, &fc)
+	rA, sumA := bench.Fig9ChaosMembers(lcfg, svm.Strong, members, &fc)
+	rB, sumB := bench.Fig9ChaosMembers(lcfg, svm.Strong, members, &fc)
 	if rA.US != rB.US || sumA != sumB || rA.Faults != rB.Faults {
 		fail("laplace replay", "same seed diverged: %.3f us/%v vs %.3f us/%v",
 			rA.US, sumA, rB.US, sumB)
@@ -116,7 +132,7 @@ func runChaos(arg string, rounds, iters int) int {
 
 	// Matmul: a second application with cross-rank reads.
 	mp := matmul.Params{N: 16}
-	mres, msum := chaosMatmul(mp, &fc)
+	mres, msum := chaosMatmul(mp, appChip, members, &fc)
 	if mres.Completed && msum != matmul.ReferenceChecksum(mp) {
 		fail("matmul strong", "checksum %v != reference %v", msum, matmul.ReferenceChecksum(mp))
 	} else {
@@ -135,11 +151,11 @@ func runChaos(arg string, rounds, iters int) int {
 		if cp.Iters > 8 {
 			cp.Iters = 8 // one 4 KiB page per row is the point, not the length
 		}
-		ccfg := bench.Fig9Config{Params: cp, Chip: chaosChip()}
+		ccfg := bench.Fig9Config{Params: cp, Chip: appChip}
 		cwant := laplace.ReferenceChecksum(cp)
 		for _, model := range []svm.Model{svm.Strong, svm.LazyRelease} {
 			name := fmt.Sprintf("dir %v", model)
-			r := bench.Fig9CrashChaos(ccfg, model, 4, &fc)
+			r := bench.Fig9CrashChaosMembers(ccfg, model, dirWorkers, &fc)
 			switch {
 			case !r.Completed:
 				fail(name, "run froze; watchdog report follows")
@@ -160,8 +176,8 @@ func runChaos(arg string, rounds, iters int) int {
 					r.Dir.Commits, r.Dir.Fenced)
 			}
 		}
-		dA := bench.Fig9CrashChaos(ccfg, svm.Strong, 4, &fc)
-		dB := bench.Fig9CrashChaos(ccfg, svm.Strong, 4, &fc)
+		dA := bench.Fig9CrashChaosMembers(ccfg, svm.Strong, dirWorkers, &fc)
+		dB := bench.Fig9CrashChaosMembers(ccfg, svm.Strong, dirWorkers, &fc)
 		if dA.EndUS != dB.EndUS || dA.Sum != dB.Sum || dA.AuditSum != dB.AuditSum ||
 			dA.Dir != dB.Dir || dA.Faults != dB.Faults {
 			fail("dir replay", "same seed diverged: %.3f us/%v vs %.3f us/%v",
@@ -195,11 +211,10 @@ func chaosChip() scc.Config {
 }
 
 // chaosMatmul runs the matmul workload on a faulty machine.
-func chaosMatmul(p matmul.Params, fc *faults.Config) (bench.ChaosResult, float64) {
-	chip := chaosChip()
+func chaosMatmul(p matmul.Params, chip scc.Config, members []int, fc *faults.Config) (bench.ChaosResult, float64) {
 	m, err := core.NewMachine(core.Options{
 		Chip:    &chip,
-		Members: core.FirstN(4),
+		Members: members,
 		Faults:  fc,
 	})
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"metalsvm/internal/profile"
 	"metalsvm/internal/racecheck"
 	"metalsvm/internal/sancheck"
+	"metalsvm/internal/scc"
 	"metalsvm/internal/svm"
 )
 
@@ -24,9 +25,16 @@ import (
 // The cells of the matrix are independent simulations, so they fan out
 // across the host pool; each cell writes its report into its own buffer
 // and the buffers print in matrix order, so the output is identical at any
-// parallelism. It returns false if any workload raced.
-func runCheck(workers int) bool {
+// parallelism. It returns false if any workload raced. A non-nil topo runs
+// the application cells on that machine with a small chip-spanning member
+// set (see smokeMembers) instead of 8 cores of the paper chip.
+func runCheck(workers int, topo *scc.Config) bool {
 	fmt.Println("racecheck: happens-before analysis of the shipped workloads")
+	members := core.FirstN(8)
+	if topo != nil {
+		members = smokeMembers(*topo)
+		fmt.Printf("racecheck: %d chip(s), %d cores activated\n", topo.Normalized().Chips, len(members))
+	}
 	type cell struct {
 		run func(io.Writer) bool
 		out bytes.Buffer
@@ -44,12 +52,15 @@ func runCheck(workers int) bool {
 		} {
 			name, main, model := w.name, w.main, model
 			cells = append(cells, &cell{run: func(out io.Writer) bool {
-				return checkOne(out, name, model, core.FirstN(8), main())
+				return checkOne(out, name, model, topo, members, main())
 			}})
 		}
 	}
-	cells = append(cells, &cell{run: checkDomains})
-	cells = append(cells, &cell{run: checkPerturbation})
+	if topo == nil {
+		// The domain and perturbation cells are defined on the paper chip.
+		cells = append(cells, &cell{run: checkDomains})
+		cells = append(cells, &cell{run: checkPerturbation})
+	}
 
 	p := runner.New(workers)
 	p.Run(len(cells), func(i int) { cells[i].ok = cells[i].run(&cells[i].out) })
@@ -81,12 +92,13 @@ func taskfarmMain() func(*core.Env) {
 	return func(env *core.Env) { app.Main(env.SVM) }
 }
 
-func checkOne(out io.Writer, name string, model svm.Model, members []int, main func(*core.Env)) bool {
+func checkOne(out io.Writer, name string, model svm.Model, topo *scc.Config, members []int, main func(*core.Env)) bool {
 	scfg := svm.DefaultConfig(model)
 	m, err := core.NewMachine(core.Options{
-		SVM:     &scfg,
-		Members: members,
-		Observe: core.Instrumentation{Race: &racecheck.Config{}},
+		Topology: topo,
+		SVM:      &scfg,
+		Members:  members,
+		Observe:  core.Instrumentation{Race: &racecheck.Config{}},
 	})
 	if err != nil {
 		fmt.Fprintf(out, "racecheck: %s under %v: %v\n", name, model, err)

@@ -8,12 +8,19 @@
 //	sccbench fig7            mail latency vs activated cores (Figure 7)
 //	sccbench table1          SVM overheads (Table 1)
 //	sccbench fig9            Laplace runtimes (Figure 9)
+//	sccbench scale           Laplace + task farm completion on every core
 //	sccbench ablation        WCB / scratchpad / read-only-L2 studies
 //	sccbench all             everything above
 //
 // Flags tune the measurement sizes; the defaults give the paper's shapes
 // in well under a coffee break. All times are simulated (533 MHz cores,
 // 800 MHz mesh and memory, as in the paper's test platform).
+//
+// -chips and -grid select a different machine through the validated
+// topology API: -grid WxHxC reshapes each chip's tile grid and -chips N
+// couples N such chips over the inter-chip link. The topology-aware
+// harnesses (fig6, fig7, fig9, scale, -check, -chaos) then run on that
+// machine — e.g. `sccbench -chips 4 -grid 8x8x2 scale` boots 512 cores.
 //
 // Independent simulations (one per sweep point) fan out across host CPUs
 // by default; -parallel 1 forces serial execution. -intra N additionally
@@ -36,8 +43,11 @@ import (
 	"runtime/pprof"
 
 	"metalsvm/internal/bench"
+	"metalsvm/internal/core"
 	"metalsvm/internal/fastpath"
+	"metalsvm/internal/scc"
 	"metalsvm/internal/stats"
+	"metalsvm/internal/svm"
 )
 
 func main() { os.Exit(run()) }
@@ -46,6 +56,8 @@ func main() { os.Exit(run()) }
 // exits (os.Exit skips deferred calls).
 func run() int {
 	rounds := flag.Int("rounds", 200, "ping-pong rounds per mailbox measurement")
+	chips := flag.Int("chips", 1, "number of chips coupled by the inter-chip link (1 = the paper's single chip)")
+	grid := flag.String("grid", "", "per-chip tile grid as `WxHxC` (width x height x cores per tile; empty = the paper's 6x4x2)")
 	iters := flag.Int("iters", 50, "Laplace iterations (paper: 5000; per-iteration cost is constant, so crossovers are preserved)")
 	fullLaplace := flag.Bool("full", false, "run the Laplace benchmark with the paper's full 5000 iterations (slow)")
 	check := flag.Bool("check", false, "run the happens-before race checker over every workload and exit non-zero on races")
@@ -62,15 +74,21 @@ func run() int {
 	profileFlag := flag.Bool("profile", false, "run one representative instrumented cell of the chosen harness and print the simulated-time profile")
 	perfettoOut := flag.String("perfetto", "", "write the instrumented run as Chrome trace-event JSON to this `file` (Perfetto-loadable; 'all' adds a per-harness suffix)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sccbench [flags] fig6|fig7|table1|fig9|ablation|all\n")
-		fmt.Fprintf(os.Stderr, "       sccbench -check\n")
+		fmt.Fprintf(os.Stderr, "usage: sccbench [flags] fig6|fig7|table1|fig9|scale|ablation|all\n")
+		fmt.Fprintf(os.Stderr, "       sccbench -chips N -grid WxHxC fig6|fig7|fig9|scale\n")
+		fmt.Fprintf(os.Stderr, "       sccbench [-chips N -grid WxHxC] -check\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -sanitize\n")
-		fmt.Fprintf(os.Stderr, "       sccbench -chaos seed[,spec]\n")
+		fmt.Fprintf(os.Stderr, "       sccbench [-chips N -grid WxHxC] -chaos seed[,spec]\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -bench [-baseline]\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -metrics|-profile|-perfetto out.json fig6|fig7|table1|fig9|repldir|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	topo, err := parseTopology(*chips, *grid)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+		return 2
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -103,7 +121,7 @@ func run() int {
 	bench.SetParallelism(*parallel)
 	fastpath.SetIntraWorkers(*intra)
 	if *check {
-		if !runCheck(*parallel) {
+		if !runCheck(*parallel, topo) {
 			return 1
 		}
 		return 0
@@ -115,9 +133,13 @@ func run() int {
 		return 0
 	}
 	if *chaos != "" {
-		return runChaos(*chaos, *rounds, *iters)
+		return runChaos(*chaos, *rounds, *iters, topo)
 	}
 	if *benchMode {
+		if topo != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: -bench measures the committed paper-chip baseline; drop -chips/-grid\n")
+			return 2
+		}
 		return runBench(*parallel, *intra, *baseline)
 	}
 	if flag.NArg() != 1 {
@@ -131,33 +153,51 @@ func run() int {
 	}
 	oc := observeConfig{metrics: *metricsFlag, profile: *profileFlag, perfetto: *perfettoOut}
 	if oc.enabled() {
+		if topo != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: the instrumented cells run on the paper chip; drop -chips/-grid\n")
+			return 2
+		}
 		return runObserve(cmd, *rounds, n, oc)
 	}
 	var res *results
 	if *jsonOut {
 		res = &results{}
 	}
+	if topo != nil {
+		switch cmd {
+		case "fig6", "fig7", "fig9", "scale":
+		default:
+			fmt.Fprintf(os.Stderr, "sccbench: %s is defined on the paper chip; use fig6|fig7|fig9|scale with -chips/-grid\n", cmd)
+			return 2
+		}
+	}
 	switch cmd {
 	case "fig6":
-		fig6(*rounds, res)
+		fig6(topo, *rounds, res)
 	case "fig7":
-		fig7(*rounds, res)
+		fig7(topo, *rounds, res)
 	case "table1":
 		table1(res)
 	case "fig9":
-		fig9(n, res)
+		fig9(topo, n, res)
+	case "scale":
+		if !scale(topo, res) && res == nil {
+			return 1
+		}
 	case "ablation":
 		ablation(n, res)
 	case "comm":
 		comm(*rounds, res)
 	case "all":
-		fig6(*rounds, res)
+		fig6(topo, *rounds, res)
 		sep(res)
-		fig7(*rounds, res)
+		fig7(topo, *rounds, res)
 		sep(res)
 		table1(res)
 		sep(res)
-		fig9(n, res)
+		fig9(topo, n, res)
+		sep(res)
+		scale(topo, res)
 		sep(res)
 		ablation(n, res)
 		sep(res)
@@ -177,15 +217,67 @@ func run() int {
 	return 0
 }
 
+// parseTopology builds the machine configuration from the -chips and -grid
+// flags. Both at their defaults returns nil — the stock paper chip, leaving
+// every legacy code path untouched.
+func parseTopology(chips int, grid string) (*scc.Config, error) {
+	if chips <= 1 && grid == "" {
+		return nil, nil
+	}
+	base := scc.PaperSCC()
+	if grid != "" {
+		var w, h, c int
+		if n, err := fmt.Sscanf(grid, "%dx%dx%d", &w, &h, &c); n != 3 || err != nil {
+			return nil, fmt.Errorf("-grid %q: want WxHxC, e.g. 8x8x2", grid)
+		}
+		base = scc.Grid(w, h, c)
+	}
+	cfg := base
+	if chips > 1 {
+		cfg = scc.MultiChip(chips, base)
+	}
+	cfg = cfg.Normalized()
+	if err := scc.Validate(cfg); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// smokeMembers picks a small member set that still spans every chip of the
+// topology. The racecheck and chaos application cells deliberately share
+// pages between ranks, so their cost under the strong model grows
+// superlinearly with the worker count (the matmul cell falls off a cliff
+// past four sharers of its hot page); booting all cores of a 512-core
+// machine would melt the smoke runs without exercising any new protocol
+// path. Four cores spread over the chips (at least one per chip) keep the
+// inter-chip link in play while every cell stays within the page-ownership
+// regime the single-chip smoke runs in.
+func smokeMembers(topo scc.Config) []int {
+	cfg := topo.Normalized()
+	per := 4 / cfg.Chips
+	if per < 1 {
+		per = 1
+	}
+	if cpc := cfg.Mesh.Width * cfg.Mesh.Height * cfg.Mesh.CoresPerTile; per > cpc {
+		per = cpc
+	}
+	var members []int
+	for ch := 0; ch < cfg.Chips; ch++ {
+		members = append(members, core.ChipCores(cfg, ch)[:per]...)
+	}
+	return members
+}
+
 // results collects experiment outputs when -json is set; a nil *results
 // selects the human-readable tables.
 type results struct {
-	Fig6     []bench.Fig6Point `json:"fig6,omitempty"`
-	Fig7     []bench.Fig7Point `json:"fig7,omitempty"`
-	Table1   *table1Results    `json:"table1,omitempty"`
-	Fig9     *fig9Results      `json:"fig9,omitempty"`
-	Ablation *ablationResults  `json:"ablation,omitempty"`
-	Comm     []bench.CommPoint `json:"comm,omitempty"`
+	Fig6     []bench.Fig6Point  `json:"fig6,omitempty"`
+	Fig7     []bench.Fig7Point  `json:"fig7,omitempty"`
+	Table1   *table1Results     `json:"table1,omitempty"`
+	Fig9     *fig9Results       `json:"fig9,omitempty"`
+	Scale    *bench.ScaleResult `json:"scale,omitempty"`
+	Ablation *ablationResults   `json:"ablation,omitempty"`
+	Comm     []bench.CommPoint  `json:"comm,omitempty"`
 }
 
 type table1Results struct {
@@ -217,8 +309,13 @@ func sep(res *results) {
 	}
 }
 
-func fig6(rounds int, res *results) {
-	points := bench.Fig6(rounds)
+func fig6(topo *scc.Config, rounds int, res *results) {
+	var points []bench.Fig6Point
+	if topo != nil {
+		points = bench.Fig6On(*topo, rounds)
+	} else {
+		points = bench.Fig6(rounds)
+	}
 	if res != nil {
 		res.Fig6 = points
 		return
@@ -234,13 +331,22 @@ func fig6(rounds int, res *results) {
 	fmt.Println("the IPI curve sits a small constant (interrupt entry) above polling.")
 }
 
-func fig7(rounds int, res *results) {
-	points := bench.Fig7(rounds, nil)
+func fig7(topo *scc.Config, rounds int, res *results) {
+	var points []bench.Fig7Point
+	if topo != nil {
+		points = bench.Fig7On(*topo, rounds, nil)
+	} else {
+		points = bench.Fig7(rounds, nil)
+	}
 	if res != nil {
 		res.Fig7 = points
 		return
 	}
-	fmt.Println("Figure 7: average mail latency between core 0 and core 30 (5 hops)")
+	peer, hops := 30, 5
+	if topo != nil {
+		peer, hops = bench.Fig7PeerOn(*topo)
+	}
+	fmt.Printf("Figure 7: average mail latency between core 0 and core %d (%d hops)\n", peer, hops)
 	t := stats.NewTable("cores", "polling [us]", "IPI [us]", "IPI+noise [us]")
 	for _, p := range points {
 		t.AddRow(fmt.Sprint(p.Cores), stats.US(p.PollingUS), stats.US(p.IPIUS), stats.US(p.IPINoiseUS))
@@ -265,8 +371,11 @@ func table1(res *results) {
 	fmt.Print(t)
 }
 
-func fig9(iters int, res *results) {
+func fig9(topo *scc.Config, iters int, res *results) {
 	cfg := bench.PaperFig9(iters)
+	if topo != nil {
+		cfg = bench.ScaledFig9(*topo, iters)
+	}
 	points := bench.Fig9(cfg)
 	if res != nil {
 		res.Fig9 = &fig9Results{Iters: iters, Points: points}
@@ -285,6 +394,39 @@ func fig9(iters int, res *results) {
 	fmt.Println("expected shape: both SVM curves nearly identical; SVM below iRCCE up to")
 	fmt.Println("32 cores (write-combine buffer); iRCCE superlinear past 32 cores (both")
 	fmt.Println("array slices fit its L2, which the SVM variants sacrifice for the WCB).")
+}
+
+// scale runs the multi-chip completion harness: the Laplace solver and the
+// task farm on every core of the topology (the stock chip when no -chips/
+// -grid is given), with exact checksum verification.
+func scale(topo *scc.Config, res *results) bool {
+	cfg := scc.PaperSCC()
+	if topo != nil {
+		cfg = *topo
+	}
+	r := bench.RunScale(cfg, bench.ScaleParams{Model: svm.LazyRelease})
+	ok := r.LaplaceOK && r.FarmOK
+	if res != nil {
+		res.Scale = &r
+		return ok
+	}
+	fmt.Printf("Scale-out: Laplace + task farm on all %d cores (%d chip(s), lazy release)\n",
+		r.Cores, r.Chips)
+	verdict := func(ok bool) string {
+		if ok {
+			return "exact"
+		}
+		return "WRONG"
+	}
+	t := stats.NewTable("workload", "loop [ms]", "result")
+	t.AddRow("laplace (1024x512, 2 iters)", stats.MS(r.LaplaceUS), verdict(r.LaplaceOK))
+	t.AddRow(fmt.Sprintf("task farm (%d tasks)", 2*r.Cores), stats.MS(r.FarmUS), verdict(r.FarmOK))
+	fmt.Print(t)
+	fmt.Printf("inter-chip link crossings: %d\n", r.LinkCrossings)
+	if !ok {
+		fmt.Println("scale: CHECKSUM MISMATCH")
+	}
+	return ok
 }
 
 func ablation(iters int, res *results) {

@@ -85,12 +85,18 @@ func Fig7Chaos(rounds, n int, fc *faults.Config) ChaosResult {
 // the post-mortem together with the application checksum (0 when the run
 // froze and the watchdog stopped it).
 func Fig9Chaos(cfg Fig9Config, model svm.Model, n int, fc *faults.Config) (ChaosResult, float64) {
+	return Fig9ChaosMembers(cfg, model, core.FirstN(n), fc)
+}
+
+// Fig9ChaosMembers is Fig9Chaos with an explicit member set — the
+// topology-aware chaos cells boot every core of a multi-chip machine.
+func Fig9ChaosMembers(cfg Fig9Config, model svm.Model, members []int, fc *faults.Config) (ChaosResult, float64) {
 	chip := cfg.Chip
 	scfg := svm.DefaultConfig(model)
 	m, err := core.NewMachine(core.Options{
 		Chip:    &chip,
 		SVM:     &scfg,
-		Members: core.FirstN(n),
+		Members: members,
 		Faults:  fc,
 	})
 	if err != nil {
@@ -136,15 +142,22 @@ const auditDelayCycles = 200_000
 // crash-free run of the same seed and schedule, keeping the whole cell a
 // deterministic function of the config.
 func Fig9CrashChaos(cfg Fig9Config, model svm.Model, n int, fc *faults.Config) DirChaosResult {
+	return Fig9CrashChaosMembers(cfg, model, core.FirstN(n), fc)
+}
+
+// Fig9CrashChaosMembers is Fig9CrashChaos with an explicit worker set; nil
+// selects the topology's default split (every core except each chip's
+// manager trio), which is what a multi-chip chaos cell wants.
+func Fig9CrashChaosMembers(cfg Fig9Config, model svm.Model, workers []int, fc *faults.Config) DirChaosResult {
 	cal := *fc
 	cal.Spec.Crashes = nil
-	calRun := runFig9Dir(cfg, model, n, &cal)
+	calRun := runFig9Dir(cfg, model, workers, &cal)
 	run := *fc
 	run.Spec.Crashes = []faults.Crash{
 		{Core: faults.CrashPrimaryManager, AtUS: 0.4 * calRun.EndUS},
 		{Core: faults.CrashLastWorker, AfterDoneUS: 50},
 	}
-	return runFig9Dir(cfg, model, n, &run)
+	return runFig9Dir(cfg, model, workers, &run)
 }
 
 // Fig9DirObserved is the fault-free replicated-directory Laplace cell with
@@ -169,16 +182,16 @@ func Fig9DirObserved(cfg Fig9Config, model svm.Model, n int, inst core.Instrumen
 	return app.Result().Elapsed.Microseconds(), m.Observability()
 }
 
-// runFig9Dir is one replicated-directory Laplace run: n worker cores plus
-// the manager trio, with rank 0 auditing the full grid after the crash
-// window.
-func runFig9Dir(cfg Fig9Config, model svm.Model, n int, fc *faults.Config) DirChaosResult {
+// runFig9Dir is one replicated-directory Laplace run: the given worker
+// cores plus each chip's manager trio, with rank 0 auditing the full grid
+// after the crash window.
+func runFig9Dir(cfg Fig9Config, model svm.Model, workers []int, fc *faults.Config) DirChaosResult {
 	chip := cfg.Chip
 	scfg := svm.DefaultConfig(model)
 	m, err := core.NewMachine(core.Options{
 		Chip:                &chip,
 		SVM:                 &scfg,
-		Members:             core.FirstN(n),
+		Members:             workers,
 		Faults:              fc,
 		ReplicatedDirectory: &repldir.Config{},
 	})
@@ -186,7 +199,7 @@ func runFig9Dir(cfg Fig9Config, model svm.Model, n int, fc *faults.Config) DirCh
 		panic(err)
 	}
 	app := laplace.NewSVM(cfg.Params, laplace.SVMOptions{})
-	workers := m.SVM.Workers()
+	workers = m.SVM.Workers()
 	var audit float64
 	mains := make(map[int]func(*core.Env), len(workers))
 	for _, id := range workers {

@@ -3,6 +3,7 @@ package bench
 import (
 	"metalsvm/internal/mailbox"
 	"metalsvm/internal/mesh"
+	"metalsvm/internal/scc"
 )
 
 // Fig6Point is one x-position of Figure 6: mail ping-pong half-round-trip
@@ -19,8 +20,22 @@ type Fig6Point struct {
 // Only the two pinging cores are activated, as in the paper, so the
 // polling kernel checks a single receive buffer and comes out faster than
 // the interrupt-driven path (whose gap is the IRQ entry overhead).
-func Fig6(rounds int) []Fig6Point {
-	m, err := mesh.New(mesh.DefaultConfig())
+func Fig6(rounds int) []Fig6Point { return fig6Run(nil, rounds) }
+
+// Fig6On is the distance sweep on an arbitrary topology: the x-axis spans
+// the topology's own mesh diameter (on-chip — the inter-chip link has no
+// hop count; see the scale harness for cross-chip latencies).
+func Fig6On(topo scc.Config, rounds int) []Fig6Point {
+	chip := benchChipOn(topo)
+	return fig6Run(&chip, rounds)
+}
+
+func fig6Run(chip *scc.Config, rounds int) []Fig6Point {
+	mcfg := mesh.DefaultConfig()
+	if chip != nil {
+		mcfg = chip.Mesh
+	}
+	m, err := mesh.New(mcfg)
 	if err != nil {
 		panic(err)
 	}
@@ -46,12 +61,12 @@ func Fig6(rounds int) []Fig6Point {
 		tasks = append(tasks, func() {
 			p.PollingUS = runPingPong(pingPongConfig{
 				mode: mailbox.ModePolling, a: 0, b: p.Peer, members: members,
-				rounds: rounds, warmup: rounds / 4,
+				rounds: rounds, warmup: rounds / 4, chip: chip,
 			})
 		}, func() {
 			p.IPIUS = runPingPong(pingPongConfig{
 				mode: mailbox.ModeIPI, a: 0, b: p.Peer, members: members,
-				rounds: rounds, warmup: rounds / 4,
+				rounds: rounds, warmup: rounds / 4, chip: chip,
 			})
 		})
 	}

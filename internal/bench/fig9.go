@@ -46,7 +46,7 @@ func PaperFig9(iters int) Fig9Config {
 }
 
 // QuickFig9 keeps the paper's exact grid geometry (1024x512 doubles, one
-// 4 KiB row per page — the property that bounds the strong model at two
+// 4 KiB page per row — the property that bounds the strong model at two
 // ownership faults per iteration) and real cache sizes, and only reduces
 // the iteration count. Per-iteration cost does not depend on the iteration
 // count, so every crossover of Figure 9 appears unchanged; multiply
@@ -54,6 +54,25 @@ func PaperFig9(iters int) Fig9Config {
 // runtimes.
 func QuickFig9(iters int) Fig9Config {
 	return PaperFig9(iters)
+}
+
+// ScaledFig9 generalizes the Laplace study to an arbitrary topology: the
+// paper's grid geometry on the given machine, sweeping core counts that
+// double from 4 up to the machine's total (so a 4-chip 512-core topology
+// exercises every chip at the top of the axis). The topology's own memory
+// sizing is kept — scc.Grid/MultiChip already scale it to fit the 32-bit
+// physical address space.
+func ScaledFig9(topo scc.Config, iters int) Fig9Config {
+	p := laplace.DefaultParams()
+	p.Iters = iters
+	cfg := topo.Normalized()
+	total := cfg.Chips * cfg.Mesh.Width * cfg.Mesh.Height * cfg.Mesh.CoresPerTile
+	var counts []int
+	for n := 4; n < total; n *= 2 {
+		counts = append(counts, n)
+	}
+	counts = append(counts, total)
+	return Fig9Config{Params: p, Chip: cfg, CoreCounts: counts}
 }
 
 // Fig9RunBaseline runs the iRCCE variant on n cores and returns the

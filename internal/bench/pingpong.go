@@ -10,6 +10,7 @@ import (
 	"metalsvm/internal/faults"
 	"metalsvm/internal/kernel"
 	"metalsvm/internal/mailbox"
+	"metalsvm/internal/pgtable"
 	"metalsvm/internal/scc"
 	"metalsvm/internal/sim"
 )
@@ -29,6 +30,9 @@ type pingPongConfig struct {
 	members []int // all activated cores (must contain a and b)
 	rounds  int
 	warmup  int
+	// chip overrides the platform (the topology-aware sweeps); nil selects
+	// benchChip(), the paper's chip with small memories.
+	chip *scc.Config
 	// noise makes the filler cores exchange mail among themselves for the
 	// whole measurement (Figure 7's third curve).
 	noise bool
@@ -43,6 +47,27 @@ func benchChip() scc.Config {
 	cfg := scc.DefaultConfig()
 	cfg.PrivateMemPerCore = 1 << 20
 	cfg.SharedMem = 16 << 20
+	return cfg
+}
+
+// ShrunkChip shrinks an arbitrary topology's memories the way the harness
+// cells do (1 MiB private, ~16 MiB shared), for callers building their own
+// cells on a user-supplied topology (sccbench's -chips/-grid modes).
+func ShrunkChip(topo scc.Config) scc.Config { return benchChipOn(topo) }
+
+// benchChipOn shrinks an arbitrary topology's memories the same way,
+// keeping the shared region striped over the machine's controller count so
+// the configuration still validates.
+func benchChipOn(topo scc.Config) scc.Config {
+	cfg := topo.Normalized()
+	cfg.PrivateMemPerCore = 1 << 20
+	unit := uint32(cfg.Chips*len(cfg.Mesh.MemoryControllers)) * pgtable.PageSize
+	shared := uint32(16 << 20)
+	shared -= shared % unit
+	if shared < unit {
+		shared = unit
+	}
+	cfg.SharedMem = shared
 	return cfg
 }
 
@@ -67,7 +92,11 @@ func runPingPongObserved(cfg pingPongConfig, inst core.Instrumentation) (float64
 // post-mortem.
 func runPingPongFull(cfg pingPongConfig, inst core.Instrumentation) (float64, bool, *kernel.Cluster, *core.Observation) {
 	eng := sim.NewEngine()
-	chip, err := scc.New(eng, benchChip())
+	ccfg := benchChip()
+	if cfg.chip != nil {
+		ccfg = *cfg.chip
+	}
+	chip, err := scc.New(eng, ccfg)
 	if err != nil {
 		panic(err)
 	}

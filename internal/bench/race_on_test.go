@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the binary was built with the Go race
+// detector; the heaviest scale-out tests skip under it (the detector's
+// ~10x slowdown on a 512-core run adds nothing — the same simulation is
+// covered race-enabled at small scale by TestScaleTwoChipReplay).
+const raceEnabled = true

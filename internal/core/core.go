@@ -39,7 +39,13 @@ import (
 // defaults (48 cores at 533 MHz, 800 MHz mesh and memory, IPI-driven
 // mailboxes, strong consistency).
 type Options struct {
-	// Chip overrides the platform configuration.
+	// Topology selects the machine shape through the validated topology
+	// API — scc.PaperSCC, scc.Grid, scc.MultiChip, or a hand-built
+	// scc.Config. Nil keeps the paper's 48-core chip. Mutually exclusive
+	// with Chip.
+	Topology *scc.Config
+	// Chip overrides the platform configuration. It predates Topology and
+	// is retained for existing callers; new code should set Topology.
 	Chip *scc.Config
 	// Kernel overrides the kernel configuration (mailbox mode, timer).
 	Kernel *kernel.Config
@@ -103,11 +109,31 @@ func WireFaults(chip *scc.Chip, kcfg *kernel.Config, fc *faults.Config) {
 	}
 }
 
-// FirstN returns the member list {0, 1, ..., n-1}.
+// FirstN returns the member list {0, 1, ..., n-1}. AllCores is the
+// topology-aware replacement; FirstN stays for existing callers.
 func FirstN(n int) []int {
 	m := make([]int, n)
 	for i := range m {
 		m[i] = i
+	}
+	return m
+}
+
+// AllCores returns every core id of a topology — {0, ..., total-1} for the
+// normalized chip count and grid size.
+func AllCores(topo scc.Config) []int {
+	topo = topo.Normalized()
+	return FirstN(topo.Chips * topo.Mesh.Width * topo.Mesh.Height * topo.Mesh.CoresPerTile)
+}
+
+// ChipCores returns chip ch's core-id range of a topology: global core ids
+// are chip-major, so chip ch owns {ch*per, ..., (ch+1)*per-1}.
+func ChipCores(topo scc.Config, ch int) []int {
+	topo = topo.Normalized()
+	per := topo.Mesh.Width * topo.Mesh.Height * topo.Mesh.CoresPerTile
+	m := make([]int, per)
+	for i := range m {
+		m[i] = ch*per + i
 	}
 	return m
 }
@@ -149,7 +175,12 @@ func (m *Machine) Observability() *Observation { return m.obs }
 func NewMachine(opts Options) (*Machine, error) {
 	eng := sim.NewEngine()
 	ccfg := scc.DefaultConfig()
-	if opts.Chip != nil {
+	switch {
+	case opts.Topology != nil && opts.Chip != nil:
+		return nil, fmt.Errorf("core: set Options.Topology or Options.Chip, not both")
+	case opts.Topology != nil:
+		ccfg = *opts.Topology
+	case opts.Chip != nil:
 		ccfg = *opts.Chip
 	}
 	chip, err := scc.New(eng, ccfg)
@@ -177,11 +208,11 @@ func NewMachine(opts Options) (*Machine, error) {
 	if rcfg != nil {
 		workers = members
 		if workers == nil {
-			workers = FirstN(chip.Cores() - repldir.ReplicaCount)
+			workers = defaultWorkers(chip)
 		}
 		managers = rcfg.Managers
 		if managers == nil {
-			managers, err = pickManagers(chip.Cores(), workers)
+			managers, err = pickManagers(chip, workers)
 			if err != nil {
 				return nil, err
 			}
@@ -235,29 +266,50 @@ func NewMachine(opts Options) (*Machine, error) {
 	return m, nil
 }
 
-// pickManagers selects the highest cores that are not SVM workers as the
-// directory's manager group, in ascending order (managers[0] is the initial
-// primary).
-func pickManagers(cores int, workers []int) ([]int, error) {
+// defaultWorkers is the worker set used when a replicated-directory machine
+// gives no members: every core except the ReplicaCount highest of each chip,
+// which are reserved for that chip's manager group.
+func defaultWorkers(chip *scc.Chip) []int {
+	per := chip.CoresPerChip()
+	var workers []int
+	for ch := 0; ch < chip.Chips(); ch++ {
+		base := ch * per
+		for id := base; id < base+per-repldir.ReplicaCount; id++ {
+			workers = append(workers, id)
+		}
+	}
+	return workers
+}
+
+// pickManagers selects each chip's highest cores that are not SVM workers
+// as that chip's manager group, listed chip by chip (chip 0's group first)
+// with each group in ascending order (group[0] is its initial primary).
+func pickManagers(chip *scc.Chip, workers []int) ([]int, error) {
 	inWorkers := make(map[int]bool, len(workers))
 	for _, w := range workers {
 		inWorkers[w] = true
 	}
-	var picked []int
-	for id := cores - 1; id >= 0 && len(picked) < repldir.ReplicaCount; id-- {
-		if !inWorkers[id] {
-			picked = append(picked, id)
+	per := chip.CoresPerChip()
+	var managers []int
+	for ch := 0; ch < chip.Chips(); ch++ {
+		base := ch * per
+		var picked []int
+		for id := base + per - 1; id >= base && len(picked) < repldir.ReplicaCount; id-- {
+			if !inWorkers[id] {
+				picked = append(picked, id)
+			}
 		}
+		if len(picked) < repldir.ReplicaCount {
+			return nil, fmt.Errorf("core: no %d free cores for chip %d's directory managers (workers %v, %d cores per chip)",
+				repldir.ReplicaCount, ch, workers, per)
+		}
+		// picked is descending; view order wants ascending.
+		for i, j := 0, len(picked)-1; i < j; i, j = i+1, j-1 {
+			picked[i], picked[j] = picked[j], picked[i]
+		}
+		managers = append(managers, picked...)
 	}
-	if len(picked) < repldir.ReplicaCount {
-		return nil, fmt.Errorf("core: no %d free cores for directory managers (workers %v of %d cores)",
-			repldir.ReplicaCount, workers, cores)
-	}
-	// picked is descending; view order wants ascending.
-	for i, j := 0, len(picked)-1; i < j; i, j = i+1, j-1 {
-		picked[i], picked[j] = picked[j], picked[i]
-	}
-	return picked, nil
+	return managers, nil
 }
 
 // sortedUnion merges two distinct-sorted member lists.

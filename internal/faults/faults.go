@@ -20,6 +20,8 @@
 //     releases (the register stays set — a stuck lock).
 //   - Mail: dropped, duplicated, delayed or corrupted mailbox deposits.
 //   - IPI:  dropped or delayed inter-processor interrupts through the GIC.
+//   - Link: delays on transactions crossing the inter-chip interconnect
+//     (multi-chip topologies only; single-chip runs never roll this route).
 //
 // Plus transient core stalls charged on synchronous operations.
 package faults
@@ -45,11 +47,16 @@ const (
 	Mail
 	// IPI is the interrupt path through the GIC.
 	IPI
+	// Link is the inter-chip interconnect path: every transaction that
+	// crosses a chip boundary (remote DDR, MPB, TAS, mail, IPI delivery)
+	// additionally rolls on this route, modeling the serial link's own
+	// loss and congestion independently of the on-die mesh routes.
+	Link
 	// NumRoutes bounds the Route enum.
 	NumRoutes
 )
 
-var routeNames = [NumRoutes]string{"ddr", "mpb", "tas", "mail", "ipi"}
+var routeNames = [NumRoutes]string{"ddr", "mpb", "tas", "mail", "ipi", "link"}
 
 func (r Route) String() string {
 	if int(r) < len(routeNames) {
@@ -498,6 +505,14 @@ func presetSpecs() map[string]Spec {
 
 	mixed.Crashes = append([]Crash(nil), crashes...)
 
+	// Inter-chip link congestion: long delays on cross-chip transactions
+	// plus a trickle of mail drops to exercise the retransmission path over
+	// the link. On a single chip nothing crosses the link, so only the mail
+	// component fires.
+	link := Spec{}
+	link.Routes[Link] = RouteSpec{DelayPermille: 40, DelayCycles: 4000}
+	link.Routes[Mail] = RouteSpec{DropPermille: 10, DelayPermille: 10, DelayCycles: 2000}
+
 	return map[string]Spec{
 		"light":   light,
 		"drops":   drops,
@@ -505,11 +520,12 @@ func presetSpecs() map[string]Spec {
 		"delays":  delays,
 		"mixed":   mixed,
 		"crash":   crash,
+		"link":    link,
 	}
 }
 
 // PresetSpec returns the named fault schedule. Names: light, drops,
-// corrupt, delays, mixed, crash.
+// corrupt, delays, mixed, crash, link.
 func PresetSpec(name string) (Spec, bool) {
 	sp, ok := presetSpecs()[name]
 	return sp, ok

@@ -6,32 +6,52 @@
 //
 // The controller here is purely functional (status registers); the chip
 // layer schedules delivery with mesh latency and wakes the target core.
+//
+// Interrupt state is sized from the configured core count: each core owns
+// one status bit per possible origin, held in ceil(cores/64) words. The
+// SCC's 48 cores fit in one word; multi-chip topologies (512–1024 cores)
+// simply use more words per core. Topology validation (scc.Validate)
+// bounds the core count before the controller is built, so New only
+// guards against nonsensical arguments.
 package gic
 
 import "fmt"
 
-// Controller holds one IPI status word per core. Bit f of core t's word
-// means "core f has raised an IPI towards core t that t has not claimed".
+// Controller holds one IPI status bitset per core. Bit f of core t's
+// bitset means "core f has raised an IPI towards core t that t has not
+// claimed".
 type Controller struct {
+	cores int
+	words int // status words per core: ceil(cores/64)
+	// status is the concatenation of every core's bitset; core t's words
+	// are status[t*words : (t+1)*words], origin f lives in word f/64 bit
+	// f%64.
 	status []uint64
 }
 
-// New creates a controller for the given core count (at most 64, which
-// comfortably covers the SCC's 48).
+// New creates a controller for the given core count. The count is sized by
+// the validated topology; the only hard requirement here is that it is
+// positive.
 func New(cores int) *Controller {
-	if cores <= 0 || cores > 64 {
+	if cores <= 0 {
 		panic(fmt.Sprintf("gic: unsupported core count %d", cores))
 	}
-	return &Controller{status: make([]uint64, cores)}
+	words := (cores + 63) / 64
+	return &Controller{cores: cores, words: words, status: make([]uint64, cores*words)}
 }
 
 // Cores returns the number of cores the controller serves.
-func (g *Controller) Cores() int { return len(g.status) }
+func (g *Controller) Cores() int { return g.cores }
 
 func (g *Controller) check(core int) {
-	if core < 0 || core >= len(g.status) {
+	if core < 0 || core >= g.cores {
 		panic(fmt.Sprintf("gic: core %d out of range", core))
 	}
+}
+
+// set returns core's status words.
+func (g *Controller) set(core int) []uint64 {
+	return g.status[core*g.words : (core+1)*g.words]
 }
 
 // Raise records an IPI from core `from` to core `to`. Raising again before
@@ -40,27 +60,34 @@ func (g *Controller) check(core int) {
 func (g *Controller) Raise(from, to int) {
 	g.check(from)
 	g.check(to)
-	g.status[to] |= 1 << uint(from)
+	g.set(to)[from/64] |= 1 << uint(from%64)
 }
 
 // Pending reports whether core has unclaimed IPIs.
 func (g *Controller) Pending(core int) bool {
 	g.check(core)
-	return g.status[core] != 0
+	for _, w := range g.set(core) {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Claim atomically reads and clears the lowest-numbered origin bit,
 // returning the originating core. ok is false when nothing is pending.
 func (g *Controller) Claim(core int) (from int, ok bool) {
 	g.check(core)
-	s := g.status[core]
-	if s == 0 {
-		return 0, false
-	}
-	for f := 0; f < 64; f++ {
-		if s&(1<<uint(f)) != 0 {
-			g.status[core] &^= 1 << uint(f)
-			return f, true
+	set := g.set(core)
+	for w, word := range set {
+		if word == 0 {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			if word&(1<<uint(b)) != 0 {
+				set[w] &^= 1 << uint(b)
+				return w*64 + b, true
+			}
 		}
 	}
 	return 0, false
@@ -69,15 +96,17 @@ func (g *Controller) Claim(core int) (from int, ok bool) {
 // ClaimAll reads and clears the full origin set in ascending order.
 func (g *Controller) ClaimAll(core int) []int {
 	g.check(core)
-	s := g.status[core]
-	g.status[core] = 0
-	if s == 0 {
-		return nil
-	}
+	set := g.set(core)
 	var origins []int
-	for f := 0; f < 64; f++ {
-		if s&(1<<uint(f)) != 0 {
-			origins = append(origins, f)
+	for w, word := range set {
+		if word == 0 {
+			continue
+		}
+		set[w] = 0
+		for b := 0; b < 64; b++ {
+			if word&(1<<uint(b)) != 0 {
+				origins = append(origins, w*64+b)
+			}
 		}
 	}
 	return origins

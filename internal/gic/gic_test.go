@@ -86,8 +86,50 @@ func TestTargetsIndependent(t *testing.T) {
 func TestBadGeometryPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("65 cores accepted")
+			t.Fatal("zero cores accepted")
 		}
 	}()
-	New(65)
+	New(0)
+}
+
+// TestMultiWordStatus exercises core counts past one status word: interrupt
+// state is sized from the configured core count, so a 512-core machine gets
+// eight words per core and origins above 63 survive the round trip.
+func TestMultiWordStatus(t *testing.T) {
+	g := New(512)
+	if g.Cores() != 512 {
+		t.Fatalf("Cores() = %d", g.Cores())
+	}
+	g.Raise(511, 0)
+	g.Raise(64, 0)
+	g.Raise(63, 0)
+	if !g.Pending(0) {
+		t.Fatal("high-origin raise not recorded")
+	}
+	var got []int
+	for {
+		f, ok := g.Claim(0)
+		if !ok {
+			break
+		}
+		got = append(got, f)
+	}
+	want := []int{63, 64, 511}
+	if len(got) != len(want) {
+		t.Fatalf("claims = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("claims = %v, want %v", got, want)
+		}
+	}
+	g.Raise(100, 200)
+	g.Raise(500, 200)
+	all := g.ClaimAll(200)
+	if len(all) != 2 || all[0] != 100 || all[1] != 500 {
+		t.Fatalf("ClaimAll = %v", all)
+	}
+	if g.Pending(200) {
+		t.Fatal("ClaimAll left pending bits")
+	}
 }

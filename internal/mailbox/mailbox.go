@@ -3,7 +3,9 @@
 // paper.
 //
 // For each communication pair one cache-line-sized mailbox is reserved in
-// the receiver's MPB (48 slots x 32 bytes = 1.5 KiB per core). A slot is a
+// the receiver's MPB — one 32-byte slot per possible sender, so the paper's
+// 48-core chip spends 1.5 KiB per core and larger topologies scale with
+// the configured core count (scc.Validate sizes the MPB). A slot is a
 // single-reader/single-writer channel: only the sender writes payload and
 // sets the flag; only the receiver reads and clears the flag. A sender that
 // finds the slot still full busy-waits until the receiver has consumed the

@@ -1,12 +1,23 @@
-// Package scc assembles the full Single-chip Cloud Computer platform model:
-// 48 P54C cores on a 6x4 tile mesh, four DDR3 memory controllers, the
-// per-core 8 KiB message-passing buffers (MPBs), the test-and-set
-// registers, and the system FPGA's global interrupt controller.
+// Package scc assembles the Single-chip Cloud Computer platform model —
+// P54C cores on a 2-D tile mesh, DDR3 memory controllers, per-core
+// message-passing buffers (MPBs), test-and-set registers, and the system
+// FPGA's global interrupt controller — for any validated topology, from
+// the paper's 48-core 6x4 chip (PaperSCC) to multi-chip machines of
+// 512–1024 cores coupled by an inter-chip link (MultiChip).
 //
 // The Chip implements the cores' memory bus (data path, optimistic timing)
 // and offers synchronous, globally ordered primitives for the protocol
 // layers: MPB reads/writes, test-and-set, uncached physical memory access,
 // and IPIs. See internal/sim for the ordering discipline.
+//
+// A multi-chip machine is modeled as N identical meshes sharing one event
+// engine and one flat physical address space: core ids, MPBs, TAS
+// registers and interrupt lines are numbered globally (chip*coresPerChip +
+// local id), and any transaction whose target lives on another chip
+// additionally crosses the interchip fabric through the chip's
+// system-interface port (the GIC tile). Single-chip machines never take a
+// crossing branch, so their timing and fault-stream behaviour is
+// bit-identical to the pre-multi-chip model.
 package scc
 
 import (
@@ -16,6 +27,7 @@ import (
 	"metalsvm/internal/cpu"
 	"metalsvm/internal/faults"
 	"metalsvm/internal/gic"
+	"metalsvm/internal/interchip"
 	"metalsvm/internal/mesh"
 	"metalsvm/internal/pgtable"
 	"metalsvm/internal/phys"
@@ -71,8 +83,14 @@ func DefaultLatencies() LatencyConfig {
 	}
 }
 
-// Config describes a whole chip.
+// Config describes a whole machine: one chip's geometry and latencies,
+// plus how many identical chips the machine couples and the link between
+// them. It is the single source of truth for topology — grid size, cores
+// per tile, controller placement, GIC capacity and MPB layout all derive
+// from it, and Validate checks the whole of it centrally.
 type Config struct {
+	// Mesh describes one chip's tile grid; a multi-chip machine replicates
+	// it per chip.
 	Mesh mesh.Config
 	Core cpu.Config
 	// MemClock is the DDR3 clock (the paper: 800 MHz).
@@ -80,11 +98,24 @@ type Config struct {
 	Lat      LatencyConfig
 	// PrivateMemPerCore is each core's private off-die region size.
 	PrivateMemPerCore uint32
-	// SharedMem is the shared off-die region size (the SVM pool).
+	// SharedMem is the shared off-die region size (the SVM pool), striped
+	// over every chip's memory controllers.
 	SharedMem uint32
 	// GICPort is the mesh position of the system interface the GIC sits
-	// behind.
+	// behind; on multi-chip machines the inter-chip link attaches at the
+	// same port.
 	GICPort mesh.Coord
+	// Chips is the number of identical chips coupled by the inter-chip
+	// link; 0 and 1 both mean a single chip.
+	Chips int
+	// Link configures the inter-chip fabric. The zero value selects
+	// interchip.DefaultConfig() on multi-chip machines and is ignored on a
+	// single chip.
+	Link interchip.Config
+	// MPBBytes is the per-core message-passing buffer size; 0 selects the
+	// SCC's phys.MPBBytesPerCore (8 KiB). Bigger machines need bigger
+	// buffers: the mailbox keeps one line-sized slot per possible sender.
+	MPBBytes int
 }
 
 // DefaultConfig returns the platform as configured in the paper's
@@ -101,17 +132,28 @@ func DefaultConfig() Config {
 	}
 }
 
-// Chip is the assembled platform.
+// Chip is the assembled platform — despite the name, a multi-chip machine
+// when Config.Chips > 1: every chip shares this one structure, with cores,
+// MPBs and interrupt lines numbered globally.
 type Chip struct {
 	cfg    Config
 	eng    *sim.Engine
-	mesh   *mesh.Mesh
+	mesh   *mesh.Mesh // one chip's geometry; all chips are identical
 	layout *phys.Layout
 	mem    *phys.Mem
 	mpb    *phys.MPB
 	tas    *phys.TAS
 	gic    *gic.Controller
 	cores  []*cpu.Core
+
+	// Multi-chip shape: chips is Config.Chips normalized, coresPerChip and
+	// mcPerChip the per-die counts, link the inter-chip fabric (nil on a
+	// single chip, where no transaction ever crosses).
+	chips        int
+	coresPerChip int
+	mcPerChip    int
+	link         *interchip.Fabric
+	mpbBytes     int
 
 	// MPB layout: mailbox slots first, then the SVM scratchpad, then the
 	// general-purpose (RCCE) area.
@@ -162,6 +204,9 @@ type MeshStats struct {
 	MPBAccesses uint64
 	TASAccesses uint64
 	IPIs        uint64
+	// LinkCrossings counts transactions that crossed the inter-chip link
+	// (always zero on a single chip).
+	LinkCrossings uint64
 	// HopSum is the total hop count over all counted transactions; HopHist
 	// buckets them by distance (the last bucket absorbs longer paths).
 	HopSum  uint64
@@ -179,6 +224,7 @@ func (ch *Chip) MeshStats() MeshStats {
 		s.MPBAccesses += cs.MPBAccesses
 		s.TASAccesses += cs.TASAccesses
 		s.IPIs += cs.IPIs
+		s.LinkCrossings += cs.LinkCrossings
 		s.HopSum += cs.HopSum
 		for i := range cs.HopHist {
 			s.HopHist[i] += cs.HopHist[i]
@@ -257,46 +303,71 @@ func (ch *Chip) CoreCrashed(id int) bool { return ch.crashed[id] }
 // ProbeAlive is the charged in-simulation read of target's liveness bit on
 // behalf of core: a register access in the system FPGA, priced like a
 // test-and-set (register cost plus a mesh round trip to the FPGA tile).
+// Probing a core on another chip additionally crosses the link to that
+// chip's FPGA.
 func (ch *Chip) ProbeAlive(core, target int) bool {
 	ch.countHops(core, ch.gicHops(core))
 	ch.meshStats[core].TASAccesses++
-	ch.syncCharge(core, ch.coreClock().Cycles(ch.cfg.Lat.TASCoreCycles)+
-		ch.mesh.RoundTrip(ch.gicHops(core)))
+	lat := ch.coreClock().Cycles(ch.cfg.Lat.TASCoreCycles) +
+		ch.mesh.RoundTrip(ch.gicHops(core))
+	if !ch.SameChip(core, target) {
+		lat += ch.link.RoundTrip(8) + ch.linkCross(core)
+	}
+	ch.syncCharge(core, lat)
 	return !ch.crashed[target]
 }
 
-// New builds a chip for the engine.
+// New validates cfg (after resolving zero-value defaults, see Normalized)
+// and builds the machine for the engine.
 func New(eng *sim.Engine, cfg Config) (*Chip, error) {
+	cfg = cfg.Normalized()
+	if err := Validate(cfg); err != nil {
+		return nil, err
+	}
 	m, err := mesh.New(cfg.Mesh)
 	if err != nil {
 		return nil, err
 	}
-	n := m.Cores()
+	chips := cfg.Chips
+	perChip := m.Cores()
+	n := chips * perChip
+	mcPerChip := m.ControllerCount()
+	// Global numbering: core c lives on chip c/perChip as local core
+	// c%perChip; controller ids follow the same scheme, so the shared
+	// region stripes over every chip's controllers and each page has a
+	// home chip.
 	coreMC := make([]int, n)
 	for c := 0; c < n; c++ {
-		coreMC[c] = m.NearestController(c)
+		coreMC[c] = (c/perChip)*mcPerChip + m.NearestController(c%perChip)
 	}
 	layout, err := phys.NewLayout(pgtable.PageSize, cfg.PrivateMemPerCore, cfg.SharedMem,
-		m.ControllerCount(), coreMC)
+		chips*mcPerChip, coreMC)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.MemClock.PeriodPS == 0 {
-		return nil, fmt.Errorf("scc: zero memory clock")
-	}
 	ch := &Chip{
-		cfg:       cfg,
-		eng:       eng,
-		mesh:      m,
-		layout:    layout,
-		mem:       phys.NewMem(layout.Total(), pgtable.PageSize),
-		mpb:       phys.NewMPB(n, phys.MPBBytesPerCore),
-		tas:       phys.NewTAS(n),
-		gic:       gic.New(n),
-		cores:     make([]*cpu.Core, n),
-		lastMesh:  make([]sim.Duration, n),
-		crashed:   make([]bool, n),
-		meshStats: make([]MeshStats, n),
+		cfg:          cfg,
+		eng:          eng,
+		mesh:         m,
+		layout:       layout,
+		mem:          phys.NewMem(layout.Total(), pgtable.PageSize),
+		mpb:          phys.NewMPB(n, cfg.MPBBytes),
+		tas:          phys.NewTAS(n),
+		gic:          gic.New(n),
+		cores:        make([]*cpu.Core, n),
+		chips:        chips,
+		coresPerChip: perChip,
+		mcPerChip:    mcPerChip,
+		mpbBytes:     cfg.MPBBytes,
+		lastMesh:     make([]sim.Duration, n),
+		crashed:      make([]bool, n),
+		meshStats:    make([]MeshStats, n),
+	}
+	if chips > 1 {
+		ch.link, err = interchip.New(cfg.Link)
+		if err != nil {
+			return nil, err
+		}
 	}
 	// MPB layout: n mailbox slots of one line each, then the scratchpad
 	// (16-bit entry per shared page, distributed round-robin over cores).
@@ -304,9 +375,9 @@ func New(eng *sim.Engine, cfg Config) (*Chip, error) {
 	sharedPages := int(layout.SharedFrames())
 	perCore := (sharedPages + n - 1) / n * 2
 	ch.rcceOff = ch.scratchOff + perCore
-	if ch.rcceOff > phys.MPBBytesPerCore {
-		return nil, fmt.Errorf("scc: MPB overcommitted: mailboxes+scratchpad need %d of %d bytes (shrink SharedMem or move the scratchpad off-die)",
-			ch.rcceOff, phys.MPBBytesPerCore)
+	if ch.rcceOff > cfg.MPBBytes {
+		return nil, fmt.Errorf("scc: MPB overcommitted: mailboxes+scratchpad need %d of %d bytes (raise MPBBytes or shrink SharedMem)",
+			ch.rcceOff, cfg.MPBBytes)
 	}
 	for c := 0; c < n; c++ {
 		ch.cores[c] = cpu.New(c, cfg.Core, ch)
@@ -335,8 +406,26 @@ func (ch *Chip) TAS() *phys.TAS { return ch.tas }
 // GIC returns the interrupt controller.
 func (ch *Chip) GIC() *gic.Controller { return ch.gic }
 
-// Cores returns the core count.
+// Cores returns the machine's total core count, across every chip.
 func (ch *Chip) Cores() int { return len(ch.cores) }
+
+// Chips returns the number of chips in the machine (1 for a single chip).
+func (ch *Chip) Chips() int { return ch.chips }
+
+// CoresPerChip returns the per-chip core count.
+func (ch *Chip) CoresPerChip() int { return ch.coresPerChip }
+
+// ChipOfCore returns the chip a global core id lives on.
+func (ch *Chip) ChipOfCore(core int) int { return core / ch.coresPerChip }
+
+// SameChip reports whether two global core ids share a die.
+func (ch *Chip) SameChip(a, b int) bool { return ch.ChipOfCore(a) == ch.ChipOfCore(b) }
+
+// Link returns the inter-chip fabric (nil on a single-chip machine).
+func (ch *Chip) Link() *interchip.Fabric { return ch.link }
+
+// localCore maps a global core id to its id on its own chip.
+func (ch *Chip) localCore(core int) int { return core % ch.coresPerChip }
 
 // Core returns core id's model.
 func (ch *Chip) Core(id int) *cpu.Core { return ch.cores[id] }
@@ -351,7 +440,7 @@ func (ch *Chip) ScratchpadMPBOffset() int { return ch.scratchOff }
 func (ch *Chip) GeneralMPBOffset() int { return ch.rcceOff }
 
 // GeneralMPBSize returns the general area's size per core.
-func (ch *Chip) GeneralMPBSize() int { return phys.MPBBytesPerCore - ch.rcceOff }
+func (ch *Chip) GeneralMPBSize() int { return ch.mpbBytes - ch.rcceOff }
 
 // Boot binds core id to a new simulation process running body, with the
 // core's private region identity-mapped (virtual address == offset within
@@ -382,7 +471,10 @@ func (ch *Chip) Boot(id int, body func(*cpu.Core)) *cpu.Core {
 // from the GIC to this core's tile. The raise and GIC terms are fixed
 // costs that apply even at zero hops, so the floor is positive and the
 // engine can run this core's pure segments ahead of its peers' next wake
-// by at least this much.
+// by at least this much. The formula needs no multi-chip term: an
+// influence from another chip pays the same raise and GIC costs plus a
+// link crossing, which Validate requires to be strictly positive, so the
+// single-chip floor remains a conservative lower bound.
 func (ch *Chip) WaveLookahead(core int) sim.Duration {
 	return ch.coreClock().Cycles(ch.cfg.Lat.IPIRaiseCoreCycles) +
 		ch.cfg.Mesh.Clock.Cycles(ch.cfg.Lat.GICCycles) +
@@ -393,14 +485,38 @@ func (ch *Chip) WaveLookahead(core int) sim.Duration {
 
 func (ch *Chip) coreClock() sim.Clock { return ch.cfg.Core.Clock }
 
+// hopsToController returns the mesh hop count between a global core and a
+// global controller id, and whether the path crosses the inter-chip link.
+// A crossing travels the core's local mesh to the system-interface port,
+// the link, and the remote mesh from that port to the controller.
+func (ch *Chip) hopsToController(core, mc int) (hops int, cross bool) {
+	mcChip, localMC := mc/ch.mcPerChip, mc%ch.mcPerChip
+	if mcChip == ch.ChipOfCore(core) {
+		return ch.mesh.HopsToController(ch.localCore(core), localMC), false
+	}
+	return ch.gicHops(core) + mesh.Hops(ch.cfg.GICPort, ch.mesh.MemoryController(localMC)), true
+}
+
+// linkCross records one inter-chip crossing on core's stats shard and
+// returns the fault-injected extra delay on the link route (zero without
+// an injector or with a zero Link spec).
+func (ch *Chip) linkCross(core int) sim.Duration {
+	ch.meshStats[core].LinkCrossings++
+	return ch.injectDelay(core, faults.Link)
+}
+
 // ddrReadLatency is the full line-read path: core-side cost, mesh round
-// trip to the serving controller, DRAM access.
+// trip to the serving controller, DRAM access. A remote-chip controller
+// adds a link round trip carrying the line back.
 func (ch *Chip) ddrReadLatency(core int, paddr uint32) sim.Duration {
 	mc := ch.layout.ControllerOf(paddr)
-	hops := ch.mesh.HopsToController(core, mc)
+	hops, cross := ch.hopsToController(core, mc)
 	ch.meshStats[core].DDRReads++
 	ch.countHops(core, hops)
 	mesh := ch.mesh.RoundTrip(hops)
+	if cross {
+		mesh += ch.link.RoundTrip(phys.CacheLine) + ch.linkCross(core)
+	}
 	ch.lastMesh[core] = mesh
 	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles) +
 		mesh +
@@ -411,13 +527,16 @@ func (ch *Chip) ddrReadLatency(core int, paddr uint32) sim.Duration {
 // ddrWordWriteLatency is an uncombined write-through store: the core stalls
 // for the full mesh round trip plus the DRAM write — as expensive as a
 // read. This is the paper's "like write accesses to an uncachable memory
-// region" cost.
+// region" cost. A remote-chip controller adds a link round trip.
 func (ch *Chip) ddrWordWriteLatency(core int, paddr uint32) sim.Duration {
 	mc := ch.layout.ControllerOf(paddr)
-	hops := ch.mesh.HopsToController(core, mc)
+	hops, cross := ch.hopsToController(core, mc)
 	ch.meshStats[core].DDRWrites++
 	ch.countHops(core, hops)
 	mesh := ch.mesh.RoundTrip(hops)
+	if cross {
+		mesh += ch.link.RoundTrip(8) + ch.linkCross(core)
+	}
 	ch.lastMesh[core] = mesh
 	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles) +
 		mesh +
@@ -426,13 +545,17 @@ func (ch *Chip) ddrWordWriteLatency(core int, paddr uint32) sim.Duration {
 }
 
 // ddrLineWriteLatency is a combined (whole line or masked line) write —
-// posted: one-way mesh traversal plus the DRAM burst.
+// posted: one-way mesh traversal plus the DRAM burst (one-way across the
+// link too when the controller is on another chip).
 func (ch *Chip) ddrLineWriteLatency(core int, paddr uint32) sim.Duration {
 	mc := ch.layout.ControllerOf(paddr)
-	hops := ch.mesh.HopsToController(core, mc)
+	hops, cross := ch.hopsToController(core, mc)
 	ch.meshStats[core].DDRWrites++
 	ch.countHops(core, hops)
 	mesh := ch.mesh.OneWay(hops)
+	if cross {
+		mesh += ch.link.OneWay(phys.CacheLine) + ch.linkCross(core)
+	}
 	ch.lastMesh[core] = mesh
 	return ch.coreClock().Cycles(ch.cfg.Lat.DDRCoreCycles/2) +
 		mesh +

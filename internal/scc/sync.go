@@ -3,6 +3,8 @@ package scc
 import (
 	"metalsvm/internal/cpu"
 	"metalsvm/internal/faults"
+	"metalsvm/internal/mesh"
+	"metalsvm/internal/phys"
 	"metalsvm/internal/sim"
 	"metalsvm/internal/trace"
 )
@@ -51,16 +53,32 @@ func (ch *Chip) injectDelay(core int, r faults.Route) sim.Duration {
 	return ch.coreClock().Cycles(cyc)
 }
 
+// hopsCores returns the mesh hop count between two global core ids and
+// whether the path crosses the inter-chip link: same-chip transactions
+// take the direct XY route; crossings travel the local mesh to the
+// system-interface port, the link, and the remote mesh from that port.
+func (ch *Chip) hopsCores(a, b int) (hops int, cross bool) {
+	if ch.SameChip(a, b) {
+		return ch.mesh.HopsCores(ch.localCore(a), ch.localCore(b)), false
+	}
+	return ch.gicHops(a) + ch.gicHops(b), true
+}
+
 // mpbLatency is an MPB access from core to owner's buffer: fixed core-side
 // cost plus a mesh round trip (zero hops when owner shares the tile; the
-// local fixed cost still applies, as measured on the SCC).
+// local fixed cost still applies, as measured on the SCC). A remote-chip
+// owner adds a link round trip carrying one line.
 func (ch *Chip) mpbLatency(core, owner int) sim.Duration {
-	hops := ch.mesh.HopsCores(core, owner)
+	hops, cross := ch.hopsCores(core, owner)
 	ch.meshStats[core].MPBAccesses++
 	ch.countHops(core, hops)
-	return ch.coreClock().Cycles(ch.cfg.Lat.MPBCoreCycles) +
+	lat := ch.coreClock().Cycles(ch.cfg.Lat.MPBCoreCycles) +
 		ch.mesh.RoundTrip(hops) +
 		ch.injectDelay(core, faults.MPB)
+	if cross {
+		lat += ch.link.RoundTrip(phys.CacheLine) + ch.linkCross(core)
+	}
+	return lat
 }
 
 // MPBCharge charges core one MPB access to owner's buffer without a
@@ -107,11 +125,15 @@ func (ch *Chip) MPBSetByte(core, owner, off int, v byte) {
 }
 
 func (ch *Chip) tasLatency(core, reg int) sim.Duration {
-	hops := ch.mesh.HopsCores(core, reg)
+	hops, cross := ch.hopsCores(core, reg)
 	ch.meshStats[core].TASAccesses++
 	ch.countHops(core, hops)
-	return ch.coreClock().Cycles(ch.cfg.Lat.TASCoreCycles) +
+	lat := ch.coreClock().Cycles(ch.cfg.Lat.TASCoreCycles) +
 		ch.mesh.RoundTrip(hops)
+	if cross {
+		lat += ch.link.RoundTrip(8) + ch.linkCross(core)
+	}
+	return lat
 }
 
 // TASLock attempts the test-and-set register reg on behalf of core,
@@ -248,6 +270,22 @@ func (ch *Chip) RaiseIPI(from, to int) {
 			uint64(faults.IPI), uint64(faults.Delay))
 		deliver += ch.coreClock().Cycles(cyc)
 	}
+	if !ch.SameChip(from, to) {
+		// The interrupt crosses to the target chip's GIC over the link; it
+		// can be lost or delayed there independently of the IPI route.
+		if ch.faults.Drop(faults.Link) {
+			ch.tracer.Emit(c.Now(), from, trace.KindFaultInject,
+				uint64(faults.Link), uint64(faults.Drop))
+			return
+		}
+		ch.meshStats[from].LinkCrossings++
+		deliver += ch.link.OneWay(8)
+		if cyc := ch.faults.DelayCycles(faults.Link); cyc != 0 {
+			ch.tracer.Emit(c.Now(), from, trace.KindFaultInject,
+				uint64(faults.Link), uint64(faults.Delay))
+			deliver += ch.coreClock().Cycles(cyc)
+		}
+	}
 	target := ch.cores[to]
 	ch.eng.After(deliver, func() {
 		ch.gic.Raise(from, to)
@@ -265,6 +303,10 @@ func (ch *Chip) NudgeIPI(from, to int) {
 	ch.countHops(from, ch.gicHops(from)+ch.gicHops(to))
 	deliver := ch.cfg.Mesh.Clock.Cycles(ch.cfg.Lat.GICCycles) +
 		ch.mesh.OneWay(ch.gicHops(to))
+	if !ch.SameChip(from, to) {
+		ch.meshStats[from].LinkCrossings++
+		deliver += ch.link.OneWay(8)
+	}
 	target := ch.cores[to]
 	ch.eng.After(deliver, func() {
 		ch.gic.Raise(from, to)
@@ -272,18 +314,10 @@ func (ch *Chip) NudgeIPI(from, to int) {
 	})
 }
 
-// gicHops is the mesh distance between a core's tile and the system
-// interface port the GIC sits behind.
+// gicHops is the mesh distance between a core's tile and its own chip's
+// system interface port — where the GIC sits and, on multi-chip machines,
+// the inter-chip link attaches. Every chip places the port at the same
+// local coordinate.
 func (ch *Chip) gicHops(core int) int {
-	pos := ch.mesh.CoordOfCore(core)
-	p := ch.cfg.GICPort
-	dx := pos.X - p.X
-	if dx < 0 {
-		dx = -dx
-	}
-	dy := pos.Y - p.Y
-	if dy < 0 {
-		dy = -dy
-	}
-	return dx + dy
+	return mesh.Hops(ch.mesh.CoordOfCore(ch.localCore(core)), ch.cfg.GICPort)
 }

@@ -1,0 +1,144 @@
+package scc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"metalsvm/internal/interchip"
+	"metalsvm/internal/mesh"
+)
+
+// The paper preset is DefaultConfig by another name — the bit-identity
+// anchor for everything built on the stock platform.
+func TestPaperSCCIsDefault(t *testing.T) {
+	if !reflect.DeepEqual(PaperSCC(), DefaultConfig()) {
+		t.Fatalf("PaperSCC diverged from DefaultConfig:\n%+v\n%+v", PaperSCC(), DefaultConfig())
+	}
+}
+
+// Every preset the scale-out target needs must validate out of the box.
+func TestPresetsValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		cores int
+	}{
+		{"paper", PaperSCC(), 48},
+		{"1x1x2", Grid(1, 1, 2), 2},
+		{"2x2x2", Grid(2, 2, 2), 8},
+		{"8x8x2", Grid(8, 8, 2), 128},
+		{"2chip-2x2x2", MultiChip(2, Grid(2, 2, 2)), 16},
+		{"4chip-8x8x2", MultiChip(4, Grid(8, 8, 2)), 512},
+		{"8chip-8x8x2", MultiChip(8, Grid(8, 8, 2)), 1024},
+	}
+	for _, c := range cases {
+		cfg := c.cfg.Normalized()
+		if err := Validate(cfg); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		got := cfg.Chips * cfg.Mesh.Width * cfg.Mesh.Height * cfg.Mesh.CoresPerTile
+		if got != c.cores {
+			t.Errorf("%s: %d cores, want %d", c.name, got, c.cores)
+		}
+	}
+}
+
+// Grid must place distinct corner controllers and keep the shared region
+// striped over them in page multiples at every size.
+func TestGridControllers(t *testing.T) {
+	for _, wh := range [][2]int{{1, 1}, {1, 4}, {6, 1}, {8, 8}} {
+		cfg := Grid(wh[0], wh[1], 2)
+		seen := map[mesh.Coord]bool{}
+		for _, mc := range cfg.Mesh.MemoryControllers {
+			if seen[mc] {
+				t.Errorf("%dx%d: duplicate controller %v", wh[0], wh[1], mc)
+			}
+			seen[mc] = true
+			if mc.X < 0 || mc.X >= wh[0] || mc.Y < 0 || mc.Y >= wh[1] {
+				t.Errorf("%dx%d: controller %v outside grid", wh[0], wh[1], mc)
+			}
+		}
+		if err := Validate(cfg.Normalized()); err != nil {
+			t.Errorf("%dx%d: %v", wh[0], wh[1], err)
+		}
+	}
+}
+
+func TestMultiChipLinkDefaults(t *testing.T) {
+	cfg := MultiChip(4, Grid(8, 8, 2))
+	if cfg.Link != interchip.DefaultConfig() {
+		t.Fatalf("MultiChip did not install the default link: %+v", cfg.Link)
+	}
+	if one := MultiChip(1, Grid(2, 2, 2)); one.Link != (interchip.Config{}) {
+		t.Fatalf("single-chip MultiChip grew a link: %+v", one.Link)
+	}
+}
+
+// Validation error cases: every foot-gun the old code paths panicked on (or
+// silently truncated) now comes back as a descriptive error.
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"gic port outside grid", func(c *Config) { c.GICPort = mesh.Coord{X: 99, Y: 0} }, "GIC port"},
+		{"zero core clock", func(c *Config) { c.Core.Clock.PeriodPS = 0 }, "core clock"},
+		{"zero memory clock", func(c *Config) { c.MemClock.PeriodPS = 0 }, "memory clock"},
+		{"unaligned private", func(c *Config) { c.PrivateMemPerCore = 4096 + 1 }, "private region"},
+		{"unaligned shared", func(c *Config) { c.SharedMem = 4096 + 1 }, "shared region"},
+		{"unstriped shared", func(c *Config) { c.SharedMem = 4096 }, "stripe over"},
+		{"mpb overcommit", func(c *Config) { c.MPBBytes = 128 }, "MPB overcommitted"},
+	}
+	for _, c := range cases {
+		cfg := PaperSCC().Normalized()
+		c.mut(&cfg)
+		err := Validate(cfg)
+		if err == nil {
+			t.Errorf("%s: validated", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateMultiChipErrors(t *testing.T) {
+	// Core-count ceiling.
+	over := MultiChip(MaxCores, Grid(2, 2, 2)).Normalized()
+	if err := Validate(over); err == nil || !strings.Contains(err.Error(), "ceiling") {
+		t.Errorf("core ceiling not enforced: %v", err)
+	}
+	// A multi-chip machine needs a valid link.
+	bad := MultiChip(2, Grid(2, 2, 2))
+	bad.Link.LatencyPS = 0
+	if err := Validate(bad.Normalized()); err == nil {
+		t.Errorf("zero link latency validated")
+	}
+	// Address-space overflow: 1024 cores cannot keep 16 MiB private each.
+	big := MultiChip(8, Grid(8, 8, 2)).Normalized()
+	big.PrivateMemPerCore = 16 << 20
+	if err := Validate(big); err == nil || !strings.Contains(err.Error(), "address space") {
+		t.Errorf("address-space overflow not caught: %v", err)
+	}
+}
+
+// Normalized resolves zero values without touching set fields.
+func TestNormalized(t *testing.T) {
+	var cfg Config
+	cfg = cfg.Normalized()
+	if cfg.Chips != 1 {
+		t.Errorf("Chips not defaulted: %d", cfg.Chips)
+	}
+	if cfg.MPBBytes == 0 {
+		t.Errorf("MPBBytes not defaulted")
+	}
+	two := MultiChip(2, Grid(2, 2, 2))
+	two.Link = interchip.Config{}
+	if got := two.Normalized().Link; got != interchip.DefaultConfig() {
+		t.Errorf("zero link not defaulted on a multi-chip machine: %+v", got)
+	}
+}

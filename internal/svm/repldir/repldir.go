@@ -1,13 +1,20 @@
 // Package repldir is the crash-fault-tolerant replacement for the SVM
-// system's single-copy ownership directory: three designated manager cores
-// run a viewstamped-replication kernel over the (hardened) mailbox and keep
-// the per-page frame/owner/epoch state replicated. Ownership transfers are
+// system's single-copy ownership directory: designated manager cores run a
+// viewstamped-replication kernel over the (hardened) mailbox and keep the
+// per-page frame/owner/epoch state replicated. Ownership transfers are
 // proposals committed by the primary with a majority (primary + one backup
 // ack); reads are served by the primary; a crashed primary triggers a view
 // change to the next alive manager; a crashed page owner is detected via
 // the chip's liveness register and its pages are revoked and reassigned by
 // a committed reclaim operation, bumping the page's epoch so the corpse's
 // in-flight transfers are fenced.
+//
+// On a multi-chip machine the directory runs one independent replica group
+// of ReplicaCount managers per chip. A page's record lives with the group
+// of its home chip (svm.System.PageHome's first level), so directory
+// traffic for chip-local pages never crosses the inter-chip link; groups
+// share the mail-type space safely because manager cores are disjoint
+// across groups and all handlers are per-core.
 //
 // Disciplines:
 //
@@ -31,10 +38,11 @@ import (
 	"metalsvm/internal/trace"
 )
 
-// ReplicaCount is the size of the manager group. Three replicas survive one
-// crash with a majority intact, which is the fault model of the chaos
-// schedules (the protocol degrades to solo commits below quorum rather than
-// halting — on a crashed simulated chip there is nobody left to lie).
+// ReplicaCount is the size of each chip's manager group. Three replicas
+// survive one crash with a majority intact, which is the fault model of the
+// chaos schedules (the protocol degrades to solo commits below quorum
+// rather than halting — on a crashed simulated chip there is nobody left to
+// lie).
 const ReplicaCount = 3
 
 // Mail types (claimed above the SVM ownership protocol's MsgUser+0..2 and
@@ -86,8 +94,10 @@ const fetchGiveUpTries = 4
 
 // Config parameterizes the replicated directory.
 type Config struct {
-	// Managers are the ReplicaCount cores running the replication kernel.
-	// The facade picks the highest non-worker cores when nil.
+	// Managers are the cores running the replication kernel: ReplicaCount
+	// per chip, listed group by group in chip order (chip 0's replicas
+	// first, each group in view order). The facade picks the highest
+	// non-worker cores of each chip when nil.
 	Managers []int
 	// ServeCycles is the primary-side bookkeeping charged per served
 	// request (directory lookup, log append). Zero selects the default.
@@ -123,6 +133,19 @@ type Stats struct {
 	FetchAborts     uint64 // catch-up chains abandoned after repeated deaths
 }
 
+// group is one chip's replica set: an independent viewstamped-replication
+// instance over ReplicaCount manager cores, serving the pages whose home
+// chip it runs on. index doubles as the home-chip number the group serves.
+type group struct {
+	index    int
+	managers []int // replica cores in view order
+}
+
+// primaryOf returns the group's manager core owning a view.
+func (g *group) primaryOf(view uint32) int {
+	return g.managers[int(view%uint32(len(g.managers)))]
+}
+
 // System is the replicated directory. It implements svm.OwnerDirectory for
 // the worker cores and runs the replication kernel on the manager cores.
 type System struct {
@@ -130,7 +153,9 @@ type System struct {
 	cl   *kernel.Cluster
 	chip *scc.Chip
 
-	managers    []int
+	managers    []int // flat, chip 0's group first (view order within a group)
+	groups      []*group
+	groupOf     map[int]*group // manager core → its replica group
 	serveCycles uint64
 
 	replicas map[int]*replica // per manager core
@@ -140,13 +165,17 @@ type System struct {
 }
 
 // New builds the directory over an SVM system whose cluster contains the
-// manager cores as members (but not as SVM workers). Install it with
-// svm.System.SetDirectory before any kernel attaches.
+// manager cores as members (but not as SVM workers): ReplicaCount managers
+// per chip, each group resident on the chip whose pages it serves. Install
+// it with svm.System.SetDirectory before any kernel attaches.
 func New(sys *svm.System, cfg Config) (*System, error) {
-	if len(cfg.Managers) != ReplicaCount {
-		return nil, fmt.Errorf("repldir: need exactly %d managers, got %v", ReplicaCount, cfg.Managers)
-	}
 	cl := sys.Cluster()
+	chip := cl.Chip()
+	chips := chip.Chips()
+	if len(cfg.Managers) != ReplicaCount*chips {
+		return nil, fmt.Errorf("repldir: need %d managers (%d per chip x %d chips) listed chip by chip, got %v",
+			ReplicaCount*chips, ReplicaCount, chips, cfg.Managers)
+	}
 	member := make(map[int]bool, len(cl.Members()))
 	for _, m := range cl.Members() {
 		member[m] = true
@@ -155,31 +184,52 @@ func New(sys *svm.System, cfg Config) (*System, error) {
 	for _, w := range sys.Workers() {
 		worker[w] = true
 	}
-	for _, m := range cfg.Managers {
+	for i, m := range cfg.Managers {
 		if !member[m] {
 			return nil, fmt.Errorf("repldir: manager %d is not a cluster member", m)
 		}
 		if worker[m] {
 			return nil, fmt.Errorf("repldir: manager %d is also an SVM worker", m)
 		}
+		if want := i / ReplicaCount; chip.ChipOfCore(m) != want {
+			return nil, fmt.Errorf("repldir: manager %d lives on chip %d but is listed in chip %d's replica group (groups serve their own chip's pages)",
+				m, chip.ChipOfCore(m), want)
+		}
 	}
 	serve := cfg.ServeCycles
 	if serve == 0 {
 		serve = DefaultServeCycles
 	}
-	return &System{
+	d := &System{
 		svm:         sys,
 		cl:          cl,
-		chip:        cl.Chip(),
+		chip:        chip,
 		managers:    append([]int(nil), cfg.Managers...),
+		groupOf:     make(map[int]*group),
 		serveCycles: serve,
 		replicas:    make(map[int]*replica),
 		clients:     make(map[int]*client),
-	}, nil
+	}
+	for gi := 0; gi < chips; gi++ {
+		g := &group{index: gi, managers: d.managers[gi*ReplicaCount : (gi+1)*ReplicaCount]}
+		d.groups = append(d.groups, g)
+		for _, m := range g.managers {
+			d.groupOf[m] = g
+		}
+	}
+	return d, nil
 }
 
-// Managers returns the manager core ids (view order).
+// Managers returns every manager core id: chip 0's replica group first,
+// each group in view order — so Managers()[0] and Managers()[1] are chip
+// 0's initial primary and first backup, which is what the crash-schedule
+// role sentinels resolve against.
 func (d *System) Managers() []int { return d.managers }
+
+// groupFor routes a page to the replica group of its home chip.
+func (d *System) groupFor(idx uint32) *group {
+	return d.groups[d.svm.HomeChip(idx)]
+}
 
 // Stats returns a snapshot of the directory counters.
 func (d *System) Stats() Stats { return d.stats }
@@ -232,8 +282,11 @@ type rpcReply struct {
 // client is a worker core's endpoint: a request sequence and the replies
 // received, keyed by request id so nested RPCs (a transfer commit inside a
 // mail handler, interleaved with an outer lookup) never clobber each other.
+// The view guess is per replica group — each chip's group fails over
+// independently. The sequence is shared across groups, so ids stay unique
+// and one msgReply handler serves every group.
 type client struct {
-	view    uint32 // current guess of the primary's view
+	views   []uint32 // per-group guess of the primary's view
 	seq     uint32
 	replies map[uint32]rpcReply
 	owned   map[uint32]bool   // pages this core owns (authoritative while alive)
@@ -245,6 +298,7 @@ func (d *System) attachWorker(k *kernel.Kernel) {
 		return
 	}
 	c := &client{
+		views:   make([]uint32, len(d.groups)),
 		replies: make(map[uint32]rpcReply),
 		owned:   make(map[uint32]bool),
 		epochs:  make(map[uint32]uint32),
@@ -263,18 +317,19 @@ func (d *System) client(h *svm.Handle) *client {
 	return c
 }
 
-// rpc runs one synchronous directory request against the current primary,
-// following redirects and failing over past crashed managers. It always
-// returns a served reply (ok, denied or fenced) — the directory survives
-// any crash pattern the fault model allows, so persistence is correct.
-func (c *client) rpc(d *System, k *kernel.Kernel, kind, page, a, b uint32) rpcReply {
+// rpc runs one synchronous directory request against the page's home
+// group's current primary, following redirects and failing over past
+// crashed managers. It always returns a served reply (ok, denied or
+// fenced) — the directory survives any crash pattern the fault model
+// allows, so persistence is correct.
+func (c *client) rpc(d *System, k *kernel.Kernel, g *group, kind, page, a, b uint32) rpcReply {
 	me := k.ID()
-	n := uint32(len(d.managers))
+	n := uint32(len(g.managers))
 	for attempt := 0; ; attempt++ {
-		target := d.managers[int(c.view%n)]
+		target := g.managers[int(c.views[g.index]%n)]
 		if d.chip.CoreCrashed(target) {
 			// Free liveness read: skip a known corpse without a timeout.
-			c.view++
+			c.views[g.index]++
 			continue
 		}
 		c.seq++
@@ -290,7 +345,7 @@ func (c *client) rpc(d *System, k *kernel.Kernel, kind, page, a, b uint32) rpcRe
 		if !k.WaitUntil(func() bool { _, ok := c.replies[id]; return ok }, deadline) {
 			d.stats.Timeouts++
 			if !d.chip.ProbeAlive(me, target) {
-				c.view++ // the primary died under us; try its successor
+				c.views[g.index]++ // the primary died under us; try its successor
 			}
 			d.stats.ClientRetries++
 			c.backoff(k, attempt)
@@ -299,8 +354,8 @@ func (c *client) rpc(d *System, k *kernel.Kernel, kind, page, a, b uint32) rpcRe
 		rep := c.replies[id]
 		delete(c.replies, id)
 		if rep.status == repRedirect {
-			if rep.a > c.view {
-				c.view = rep.a
+			if rep.a > c.views[g.index] {
+				c.views[g.index] = rep.a
 			}
 			c.backoff(k, attempt)
 			continue
@@ -331,9 +386,10 @@ func (d *System) FirstTouch(h *svm.Handle, idx uint32) (uint32, bool) {
 	k := h.Kernel()
 	me := k.ID()
 	c := d.client(h)
+	g := d.groupFor(idx)
 	layout := d.chip.Layout()
 
-	rep := c.rpc(d, k, reqLookup, idx, 0, 0)
+	rep := c.rpc(d, k, g, reqLookup, idx, 0, 0)
 	if rep.a != 0 {
 		c.epochs[idx] = rep.c
 		h.CountMapExisting()
@@ -345,7 +401,7 @@ func (d *System) FirstTouch(h *svm.Handle, idx uint32) (uint32, bool) {
 	}
 	k.Core().Cycles(d.svm.Config().FrameAllocCycles)
 	d.chip.ZeroSharedFrame(me, layout.SharedFrameAddr(sf))
-	rep = c.rpc(d, k, reqClaim, idx, sf, 0)
+	rep = c.rpc(d, k, g, reqClaim, idx, sf, 0)
 	if rep.a == 1 {
 		c.owned[idx] = true
 		c.epochs[idx] = rep.c
@@ -362,7 +418,7 @@ func (d *System) FirstTouch(h *svm.Handle, idx uint32) (uint32, bool) {
 
 func (d *System) Owner(h *svm.Handle, idx uint32) int {
 	c := d.client(h)
-	rep := c.rpc(d, h.Kernel(), reqGetOwner, idx, 0, 0)
+	rep := c.rpc(d, h.Kernel(), d.groupFor(idx), reqGetOwner, idx, 0, 0)
 	c.epochs[idx] = rep.b
 	return int(rep.a) - 1
 }
@@ -383,7 +439,7 @@ func (d *System) YieldPage(h *svm.Handle, idx uint32) uint32 {
 // TakeOwnership commits the requester side of an acknowledged handoff.
 func (d *System) TakeOwnership(h *svm.Handle, idx uint32, prev int, epoch uint32) bool {
 	c := d.client(h)
-	rep := c.rpc(d, h.Kernel(), reqTransfer, idx, enc(prev), epoch)
+	rep := c.rpc(d, h.Kernel(), d.groupFor(idx), reqTransfer, idx, enc(prev), epoch)
 	if rep.status != repOK {
 		return false
 	}
@@ -395,7 +451,7 @@ func (d *System) TakeOwnership(h *svm.Handle, idx uint32, prev int, epoch uint32
 func (d *System) ReclaimDead(h *svm.Handle, idx uint32, dead int) bool {
 	c := d.client(h)
 	d.stats.Reclaims++
-	rep := c.rpc(d, h.Kernel(), reqReclaim, idx, enc(dead), 0)
+	rep := c.rpc(d, h.Kernel(), d.groupFor(idx), reqReclaim, idx, enc(dead), 0)
 	if rep.status != repOK {
 		return false
 	}
@@ -411,7 +467,7 @@ func (d *System) ReclaimDead(h *svm.Handle, idx uint32, dead int) bool {
 // an epoch bump, fencing any still-in-flight stale handoff.
 func (d *System) ReclaimOrphan(h *svm.Handle, idx uint32, owner int) bool {
 	c := d.client(h)
-	rep := c.rpc(d, h.Kernel(), reqOrphan, idx, enc(owner), 0)
+	rep := c.rpc(d, h.Kernel(), d.groupFor(idx), reqOrphan, idx, enc(owner), 0)
 	if rep.status != repOK {
 		return false
 	}
@@ -426,16 +482,16 @@ func (d *System) NoteAcquired(h *svm.Handle, idx uint32) {
 
 func (d *System) ReleasePage(h *svm.Handle, idx uint32) uint32 {
 	c := d.client(h)
-	rep := c.rpc(d, h.Kernel(), reqForget, idx, 0, 0)
+	rep := c.rpc(d, h.Kernel(), d.groupFor(idx), reqForget, idx, 0, 0)
 	delete(c.owned, idx)
 	delete(c.epochs, idx)
 	return rep.a
 }
 
-// PeekOwner reads the most advanced alive replica's record (host-side,
-// uncharged — diagnostics only).
+// PeekOwner reads the most advanced alive replica's record in the page's
+// home group (host-side, uncharged — diagnostics only).
 func (d *System) PeekOwner(idx uint32) int {
-	r := d.bestReplica()
+	r := d.bestReplica(d.groupFor(idx))
 	if r == nil {
 		return -1
 	}
@@ -444,11 +500,11 @@ func (d *System) PeekOwner(idx uint32) int {
 
 func (d *System) Replicated() bool { return true }
 
-// bestReplica picks the alive replica with the highest (view, opnum) — the
-// authority for host-side peeks.
-func (d *System) bestReplica() *replica {
+// bestReplica picks the group's alive replica with the highest
+// (view, opnum) — the authority for host-side peeks.
+func (d *System) bestReplica(g *group) *replica {
 	var best *replica
-	for _, mgr := range d.managers {
+	for _, mgr := range g.managers {
 		if d.chip.CoreCrashed(mgr) {
 			continue
 		}

@@ -63,6 +63,7 @@ const (
 // replica is one manager core's replication state. All mutation happens on
 // that core's kernel goroutine (handlers and the tick hook).
 type replica struct {
+	g           *group // the chip-local replica group this core belongs to
 	view        uint32
 	status      int
 	pendingView uint32
@@ -137,8 +138,8 @@ func (d *System) attachManager(k *kernel.Kernel) {
 	if _, ok := d.replicas[k.ID()]; ok {
 		return
 	}
-	r := &replica{state: make(map[uint32]pageState), forgotten: make(map[uint32]uint32),
-		bestFrom: -1, fetchPeer: -1, fetchAckTo: -1}
+	r := &replica{g: d.groupOf[k.ID()], state: make(map[uint32]pageState),
+		forgotten: make(map[uint32]uint32), bestFrom: -1, fetchPeer: -1, fetchAckTo: -1}
 	d.replicas[k.ID()] = r
 	k.RegisterHandler(msgRequest, func(_ *kernel.Kernel, m mailbox.Msg) { d.handleRequest(k, r, m) })
 	k.RegisterHandler(msgPrepare, func(_ *kernel.Kernel, m mailbox.Msg) { d.handlePrepare(k, r, m) })
@@ -153,11 +154,6 @@ func (d *System) attachManager(k *kernel.Kernel) {
 	k.RegisterHandler(msgOpEntry, func(_ *kernel.Kernel, m mailbox.Msg) { d.handleOpEntry(k, r, m) })
 	k.RegisterHandler(msgStartView, func(_ *kernel.Kernel, m mailbox.Msg) { d.handleStartView(k, r, m) })
 	k.SetTickHook(func() { d.tick(k, r) })
-}
-
-// primaryOf returns the manager core owning a view.
-func (d *System) primaryOf(view uint32) int {
-	return d.managers[int(view%uint32(len(d.managers)))]
 }
 
 // --- Request serving (primary) -------------------------------------------
@@ -175,7 +171,7 @@ func (d *System) handleRequest(k *kernel.Kernel, r *replica, m mailbox.Msg) {
 		mailbox.PutU32(p[:], 4, rc)
 		k.Send(from, msgReply, p[:])
 	}
-	if r.status != statusNormal || d.primaryOf(r.view) != me {
+	if r.status != statusNormal || r.g.primaryOf(r.view) != me {
 		d.stats.Redirects++
 		v := r.view
 		if r.status == statusViewChange && r.pendingView > v {
@@ -277,7 +273,7 @@ func (d *System) commitOp(k *kernel.Kernel, r *replica, o op) {
 	d.chip.Tracer().Emit(k.Core().Now(), me, trace.KindDirCommit, uint64(o.page), uint64(r.opnum))
 	opn := r.opnum
 	alive := 0
-	for _, mgr := range d.managers {
+	for _, mgr := range r.g.managers {
 		if mgr == me || d.chip.CoreCrashed(mgr) {
 			continue
 		}
@@ -302,7 +298,7 @@ func (d *System) commitOp(k *kernel.Kernel, r *replica, o op) {
 			return
 		}
 		alive = 0
-		for _, mgr := range d.managers {
+		for _, mgr := range r.g.managers {
 			if mgr != me && !d.chip.CoreCrashed(mgr) {
 				alive++
 			}
@@ -432,8 +428,8 @@ func (d *System) retryFetch(k *kernel.Kernel, r *replica) {
 	}
 	r.fetchTries++
 	if !srcAlive {
-		alive := make([]int, 0, len(d.managers))
-		for _, mgr := range d.managers {
+		alive := make([]int, 0, len(r.g.managers))
+		for _, mgr := range r.g.managers {
 			if mgr != me && !d.chip.CoreCrashed(mgr) {
 				alive = append(alive, mgr)
 			}
@@ -495,7 +491,7 @@ func (d *System) tick(k *kernel.Kernel, r *replica) {
 	if r.status == statusViewChange && r.pendingView > v {
 		v = r.pendingView
 	}
-	cur := d.primaryOf(v)
+	cur := r.g.primaryOf(v)
 	if cur == me {
 		if r.status == statusViewChange &&
 			k.Core().Proc().LocalTime()-r.changeStart > sim.Microseconds(changeRetryUS) {
@@ -509,10 +505,10 @@ func (d *System) tick(k *kernel.Kernel, r *replica) {
 		return
 	}
 	nv := v + 1
-	for d.chip.CoreCrashed(d.primaryOf(nv)) {
+	for d.chip.CoreCrashed(r.g.primaryOf(nv)) {
 		nv++
 	}
-	if d.primaryOf(nv) != me {
+	if r.g.primaryOf(nv) != me {
 		return // the designated successor takes it from here
 	}
 	d.startViewChange(k, r, nv)
@@ -527,7 +523,7 @@ func (d *System) startViewChange(k *kernel.Kernel, r *replica, v uint32) {
 	r.dvNeeded = 0
 	r.bestOp = r.opnum
 	r.bestFrom = -1
-	for _, mgr := range d.managers {
+	for _, mgr := range r.g.managers {
 		if mgr == me || d.chip.CoreCrashed(mgr) {
 			continue
 		}
@@ -582,7 +578,7 @@ func (d *System) finishViewChange(k *kernel.Kernel, r *replica) {
 	r.status = statusNormal
 	d.stats.ViewChanges++
 	d.chip.Tracer().Emit(k.Core().Now(), me, trace.KindDirFailover, uint64(r.view), uint64(r.opnum))
-	for _, mgr := range d.managers {
+	for _, mgr := range r.g.managers {
 		if mgr == me || d.chip.CoreCrashed(mgr) {
 			continue
 		}
@@ -611,8 +607,22 @@ func (d *System) handleStartView(k *kernel.Kernel, r *replica, m mailbox.Msg) {
 // DumpDiagnostics writes the directory's replica and protocol state for the
 // watchdog report. Host-side reads only; charges no simulated time.
 func (d *System) DumpDiagnostics(w io.Writer) {
-	fmt.Fprintf(w, "repldir: managers=%v\n", d.managers)
-	for i, mgr := range d.managers {
+	for _, g := range d.groups {
+		d.dumpGroup(w, g)
+	}
+	s := d.stats
+	fmt.Fprintf(w, "  dir stats: commits=%d solo=%d view-changes=%d reclaims=%d orphans=%d fenced=%d redirects=%d timeouts=%d fetch-retries=%d fetch-aborts=%d\n",
+		s.Commits, s.SoloCommits, s.ViewChanges, s.Reconstructions, s.OrphanReclaims,
+		s.Fenced, s.Redirects, s.Timeouts, s.FetchRetries, s.FetchAborts)
+}
+
+func (d *System) dumpGroup(w io.Writer, g *group) {
+	if len(d.groups) == 1 {
+		fmt.Fprintf(w, "repldir: managers=%v\n", g.managers)
+	} else {
+		fmt.Fprintf(w, "repldir: chip %d managers=%v\n", g.index, g.managers)
+	}
+	for i, mgr := range g.managers {
 		r := d.replicas[mgr]
 		if r == nil {
 			fmt.Fprintf(w, "  replica %d (core %d): not attached\n", i, mgr)
@@ -641,8 +651,4 @@ func (d *System) DumpDiagnostics(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
-	s := d.stats
-	fmt.Fprintf(w, "  dir stats: commits=%d solo=%d view-changes=%d reclaims=%d orphans=%d fenced=%d redirects=%d timeouts=%d fetch-retries=%d fetch-aborts=%d\n",
-		s.Commits, s.SoloCommits, s.ViewChanges, s.Reconstructions, s.OrphanReclaims,
-		s.Fenced, s.Redirects, s.Timeouts, s.FetchRetries, s.FetchAborts)
 }

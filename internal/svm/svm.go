@@ -395,8 +395,26 @@ func (s *System) writeOwner(core int, idx uint32, owner int) {
 
 // --- First-touch directory (scratchpad) ----------------------------------
 
-// scratchHome returns the core whose MPB holds page idx's entry.
+// scratchHome returns the core whose MPB holds page idx's entry. Entries
+// round-robin over every core of every chip, so on multi-chip machines the
+// directory load and the pages' home chips spread evenly.
 func (s *System) scratchHome(idx uint32) int { return int(idx) % s.chip.Cores() }
+
+// HomeChip returns the chip that holds page idx's directory entry — the
+// first level of the two-level page home (owning chip, then on-chip owner
+// core). The replicated directory routes each page's requests to the
+// manager group of its home chip.
+func (s *System) HomeChip(idx uint32) int { return s.chip.ChipOfCore(s.scratchHome(idx)) }
+
+// PageHome returns the two-level home of page idx: the chip whose
+// directory serves it and the core whose MPB holds its first-touch entry.
+// The page's current *owner* (the core with access rights under the Strong
+// model) is dynamic and lives in the ownership directory; the home only
+// names where the metadata resides.
+func (s *System) PageHome(idx uint32) (chip, core int) {
+	core = s.scratchHome(idx)
+	return s.chip.ChipOfCore(core), core
+}
 
 // scratchRead returns the frame recorded for the page (0 = unallocated).
 func (s *System) scratchRead(core int, idx uint32) uint32 {

@@ -28,6 +28,7 @@ import (
 	"metalsvm/internal/profile"
 	"metalsvm/internal/racecheck"
 	"metalsvm/internal/sancheck"
+	"metalsvm/internal/scc"
 	"metalsvm/internal/sim"
 	"metalsvm/internal/svm"
 	"metalsvm/internal/svm/repldir"
@@ -65,13 +66,57 @@ const (
 	LazyRelease = svm.LazyRelease
 )
 
+// Topology is the validated machine-shape configuration: grid dimensions,
+// cores per tile, controller and system-port placement, chip count and
+// inter-chip link, and the memory/MPB sizing. Build one with PaperSCC,
+// Grid or MultiChip (or customize the returned value), pass it through
+// Options.Topology, and NewMachine validates it centrally — no component
+// layer truncates or panics on an out-of-range shape.
+type Topology = scc.Config
+
+// PaperSCC returns the paper's topology: one 48-core 6x4x2 chip with the
+// calibrated clocks and latencies — the bit-identical default.
+func PaperSCC() Topology { return scc.PaperSCC() }
+
+// Grid returns a single-chip topology for an arbitrary w x h tile grid
+// with the given cores per tile, with controllers, system port, and
+// memory/MPB sizing scaled to fit.
+func Grid(w, h, coresPerTile int) Topology { return scc.Grid(w, h, coresPerTile) }
+
+// MultiChip couples chips copies of a base topology over the simulated
+// inter-chip link (override Topology.Link to change its latency and
+// bandwidth), rescaling the shared-memory striping and MPB sizing for the
+// machine's total core count.
+func MultiChip(chips int, base Topology) Topology { return scc.MultiChip(chips, base) }
+
+// ValidateTopology checks a topology without building a machine, returning
+// the first problem found (NewMachine runs the same validation).
+func ValidateTopology(t Topology) error { return scc.Validate(t.Normalized()) }
+
+// AllCores returns every core id of a topology — the topology-aware
+// replacement for FirstN.
+func AllCores(topo Topology) []int { return core.AllCores(topo) }
+
+// ChipCores returns chip ch's core-id range of a topology (global core ids
+// are chip-major).
+func ChipCores(topo Topology, ch int) []int { return core.ChipCores(topo, ch) }
+
 // NewMachine builds the platform, boots nothing yet; call Run or RunAll.
 func NewMachine(opts Options) (*Machine, error) { return core.NewMachine(opts) }
 
-// NewBaseline builds the message-passing comparison system.
+// NewBaselineOn builds the message-passing comparison system on an
+// explicit topology.
+func NewBaselineOn(topo Topology, cores []int) (*Baseline, error) {
+	return core.NewBaseline(&topo, cores)
+}
+
+// NewBaseline builds the message-passing comparison system on the paper's
+// topology. It stays for existing callers; new code should use
+// NewBaselineOn with an explicit topology.
 func NewBaseline(cores []int) (*Baseline, error) { return core.NewBaseline(nil, cores) }
 
-// FirstN returns the member list {0, ..., n-1}.
+// FirstN returns the member list {0, ..., n-1}. It stays for existing
+// callers; new code should use AllCores/ChipCores with a topology.
 func FirstN(n int) []int { return core.FirstN(n) }
 
 // SVMConfig returns the calibrated SVM configuration for a model, ready to
