@@ -1,10 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
 
+	"metalsvm/internal/apps/kvstore"
 	"metalsvm/internal/apps/laplace"
 	"metalsvm/internal/apps/matmul"
 	"metalsvm/internal/bench"
@@ -17,6 +19,28 @@ import (
 // chaosDumpFile receives the diagnostic dump when a chaos cell fails.
 const chaosDumpFile = "chaos-dump.txt"
 
+// chaosCellJSON is one cell of the -chaos -json summary. Faults carries the
+// per-route injection counts (drops, dups, delays, corruptions keyed by
+// route name), so a schedule's footprint is visible per cell.
+type chaosCellJSON struct {
+	Name           string                       `json:"name"`
+	OK             bool                         `json:"ok"`
+	Err            string                       `json:"err,omitempty"`
+	US             float64                      `json:"us,omitempty"`
+	Injected       uint64                       `json:"injected,omitempty"`
+	Crashes        uint64                       `json:"crashes,omitempty"`
+	PartitionDrops uint64                       `json:"partition_drops,omitempty"`
+	Faults         map[string]faults.RouteStats `json:"faults,omitempty"`
+}
+
+// chaosJSON is the -chaos -json payload.
+type chaosJSON struct {
+	Seed     uint64          `json:"seed"`
+	Schedule string          `json:"schedule"`
+	OK       bool            `json:"ok"`
+	Cells    []chaosCellJSON `json:"cells"`
+}
+
 // runChaos is the chaos harness: it reruns representative cells of the
 // evaluation under a deterministic fault schedule and verifies that the
 // hardened protocols recover — the measurements complete, the applications
@@ -27,13 +51,21 @@ const chaosDumpFile = "chaos-dump.txt"
 // chip-spanning member set (see smokeMembers), putting the inter-chip link
 // under the same fault schedule; the single-chip mail cells are skipped
 // there, and the crash suite uses the topology's default worker split.
-func runChaos(arg string, rounds, iters int, topo *scc.Config) int {
+// jsonOut replaces the table with a machine-readable summary that carries
+// each cell's per-route fault counts.
+func runChaos(arg string, rounds, iters int, topo *scc.Config, jsonOut bool) int {
 	fc, err := faults.ParseConfig(arg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sccbench: %v (presets: %s)\n", err, strings.Join(faults.Presets(), ", "))
 		return 2
 	}
-	fmt.Printf("chaos: seed %d, schedule %q\n", fc.Seed, chaosSpecName(arg))
+	summary := chaosJSON{Seed: fc.Seed, Schedule: chaosSpecName(arg), OK: true}
+	say := func(format string, args ...any) {
+		if !jsonOut {
+			fmt.Printf(format, args...)
+		}
+	}
+	say("chaos: seed %d, schedule %q\n", fc.Seed, chaosSpecName(arg))
 	appChip := chaosChip()
 	members := core.FirstN(4)
 	dirWorkers := core.FirstN(4)
@@ -41,21 +73,40 @@ func runChaos(arg string, rounds, iters int, topo *scc.Config) int {
 		appChip = bench.ShrunkChip(*topo)
 		members = smokeMembers(*topo)
 		dirWorkers = nil // the default split: all cores minus each chip's manager trio
-		fmt.Printf("chaos: %d chip(s), %d cores\n", appChip.Chips, len(members))
+		say("chaos: %d chip(s), %d cores\n", appChip.Chips, len(members))
 	}
 
 	var dump strings.Builder
 	ok := true
+	record := func(cell chaosCellJSON) {
+		summary.Cells = append(summary.Cells, cell)
+		summary.OK = summary.OK && cell.OK
+	}
 	fail := func(name, format string, args ...any) {
 		ok = false
 		msg := fmt.Sprintf(format, args...)
-		fmt.Printf("  %-16s FAILED: %s\n", name, msg)
+		say("  %-16s FAILED: %s\n", name, msg)
 		fmt.Fprintf(&dump, "=== %s: %s\n", name, msg)
+		record(chaosCellJSON{Name: name, Err: msg})
+	}
+	passStats := func(name string, us float64, fs faults.Stats) {
+		record(chaosCellJSON{
+			Name: name, OK: true, US: us,
+			Injected:       fs.Injected(),
+			Crashes:        fs.Crashes,
+			PartitionDrops: fs.PartitionDrops,
+			Faults:         fs.PerRoute(),
+		})
 	}
 	pass := func(name string, us float64, r bench.ChaosResult) {
-		fmt.Printf("  %-16s %10.3f us   ok (%d injected, %d retx, %d renudge, %d corrupt, %d dup, %d rescues)\n",
+		say("  %-16s %10.3f us   ok (%d injected, %d retx, %d renudge, %d corrupt, %d dup, %d rescues)\n",
 			name, us, r.Faults.Injected(), r.Mailbox.Retransmits, r.Mailbox.Renudges,
 			r.Mailbox.CorruptDrops, r.Mailbox.DupFrames, r.Rescues)
+		passStats(name, us, r.Faults)
+	}
+	identical := func(name string) {
+		say("  %-16s %10s      ok (bit-identical)\n", name, "")
+		record(chaosCellJSON{Name: name, OK: true})
 	}
 	// recovered reports whether the run shows recovery activity matching the
 	// schedule: a mail/IPI fault schedule must leave traces in the recovery
@@ -95,7 +146,7 @@ func runChaos(arg string, rounds, iters int, topo *scc.Config) int {
 			fail("fig6 replay", "same seed diverged: %.6f/%v vs %.6f/%v",
 				r6.US, r6.Faults.Injected(), r6b.US, r6b.Faults.Injected())
 		} else {
-			fmt.Printf("  %-16s %10s      ok (bit-identical)\n", "fig6 replay", "")
+			identical("fig6 replay")
 		}
 
 		// Figure 7 cell (polling, 8 activated cores).
@@ -127,7 +178,7 @@ func runChaos(arg string, rounds, iters int, topo *scc.Config) int {
 		fail("laplace replay", "same seed diverged: %.3f us/%v vs %.3f us/%v",
 			rA.US, sumA, rB.US, sumB)
 	} else {
-		fmt.Printf("  %-16s %10s      ok (bit-identical)\n", "laplace replay", "")
+		identical("laplace replay")
 	}
 
 	// Matmul: a second application with cross-rank reads.
@@ -171,9 +222,10 @@ func runChaos(arg string, rounds, iters int, topo *scc.Config) int {
 			case model == svm.Strong && r.Dir.Reconstructions == 0:
 				fail(name, "audit forced no dead-owner reclaims: %+v", r.Dir)
 			default:
-				fmt.Printf("  %-16s %10.3f us   ok (%d crashed, %d failovers, %d reclaims, %d commits, %d fenced)\n",
+				say("  %-16s %10.3f us   ok (%d crashed, %d failovers, %d reclaims, %d commits, %d fenced)\n",
 					name, r.US, r.Faults.Crashes, r.Dir.ViewChanges, r.Dir.Reconstructions,
 					r.Dir.Commits, r.Dir.Fenced)
+				passStats(name, r.US, r.Faults)
 			}
 		}
 		dA := bench.Fig9CrashChaosMembers(ccfg, svm.Strong, dirWorkers, &fc)
@@ -183,21 +235,122 @@ func runChaos(arg string, rounds, iters int, topo *scc.Config) int {
 			fail("dir replay", "same seed diverged: %.3f us/%v vs %.3f us/%v",
 				dA.EndUS, dA.Sum, dB.EndUS, dB.Sum)
 		} else {
-			fmt.Printf("  %-16s %10s      ok (bit-identical)\n", "dir replay", "")
+			identical("dir replay")
 		}
 	}
 
+	// Partition suite: when the schedule carries a link-outage window (the
+	// partition preset), run Laplace across two chips through the outage.
+	// The marker window is calibrated against an outage-free run of the
+	// same seed, then the partitioned run must complete with the exact
+	// reference checksum — cross-chip results stay bit-exact after the
+	// link heals — and the same seed must replay bit-identically.
+	if fc.Spec.HasPartitionMarker() {
+		ptopo := scc.MultiChip(2, scc.Grid(2, 2, 2))
+		pchip := bench.ShrunkChip(ptopo)
+		pmembers := smokeMembers(ptopo)
+		plp := lp
+		pcfg := bench.Fig9Config{Params: plp, Chip: pchip}
+		pwant := laplace.ReferenceChecksum(plp)
+		cal := fc
+		cal.Spec.Partitions = nil
+		calR, _ := bench.Fig9ChaosMembers(pcfg, svm.Strong, pmembers, &cal)
+		if !calR.Completed {
+			fail("partition heal", "calibration froze; watchdog report follows")
+			fmt.Fprintln(&dump, calR.Watchdog)
+		} else {
+			run := fc
+			run.Spec.Partitions = bench.ResolvePartitions(fc.Spec.Partitions, calR.US)
+			pr, psum := bench.Fig9ChaosMembers(pcfg, svm.Strong, pmembers, &run)
+			switch {
+			case !pr.Completed:
+				fail("partition heal", "run froze; watchdog report follows")
+				fmt.Fprintln(&dump, pr.Watchdog)
+			case psum != pwant:
+				fail("partition heal", "checksum %v != reference %v after heal", psum, pwant)
+			case pr.Faults.PartitionDrops == 0:
+				fail("partition heal", "outage window dropped nothing (%d injected)", pr.Faults.Injected())
+			default:
+				say("  %-16s %10.3f us   ok (%d partition drops, %d injected, bit-exact after heal)\n",
+					"partition heal", pr.US, pr.Faults.PartitionDrops, pr.Faults.Injected())
+				passStats("partition heal", pr.US, pr.Faults)
+			}
+			qr, qsum := bench.Fig9ChaosMembers(pcfg, svm.Strong, pmembers, &run)
+			if qr.US != pr.US || qsum != psum || qr.Faults != pr.Faults {
+				fail("partition replay", "same seed diverged: %.3f us/%v vs %.3f us/%v",
+					pr.US, psum, qr.US, qsum)
+			} else {
+				identical("partition replay")
+			}
+		}
+	}
+
+	// KV store cell: the serving workload under the same schedule. The run
+	// must complete with an exact exactly-once audit, nonzero goodput in
+	// every window, and a bit-identical replay. Crash schedules get the
+	// replicated directory (dead-owner reclaim); the partition schedule
+	// gets a two-chip machine so the outage actually cuts traffic.
+	{
+		kp := kvstore.DefaultParams()
+		kp.Requests = 3000
+		kp.Seed = fc.Seed
+		var ktopo scc.Config
+		switch {
+		case topo != nil:
+			ktopo = *topo
+		case fc.Spec.HasPartitionMarker():
+			ktopo = scc.MultiChip(2, scc.Grid(2, 2, 2))
+		default:
+			ktopo = scc.Grid(4, 4, 1)
+		}
+		withDir := len(fc.Spec.Crashes) > 0
+		kr := bench.RunKV(kp, ktopo, &fc, withDir)
+		switch {
+		case !kr.Completed:
+			fail("kvstore", "run froze; watchdog report follows")
+			fmt.Fprintln(&dump, kr.Watchdog)
+		case !kr.KV.AuditOK:
+			fail("kvstore", "exactly-once audit failed: %s", strings.Join(kr.KV.AuditErrors, "; "))
+		case kr.KV.Issued != kr.KV.Applied+kr.KV.Shed+kr.KV.Expired:
+			fail("kvstore", "outcome taxonomy leak: %+v", kr.KV)
+		case kr.MinGoodput() == 0:
+			fail("kvstore", "a goodput window stalled: %v", kr.KV.GoodputWindows)
+		case kr.Faults.Injected() == 0:
+			fail("kvstore", "schedule injected no faults")
+		default:
+			say("  %-16s %10.3f us   ok (%d applied, %d shed, %d expired, %d failovers, %d injected)\n",
+				"kvstore", kr.EndUS, kr.KV.Applied, kr.KV.Shed, kr.KV.Expired,
+				kr.KV.Failovers, kr.Faults.Injected())
+			passStats("kvstore", kr.EndUS, kr.Faults)
+		}
+		kb := bench.RunKV(kp, ktopo, &fc, withDir)
+		if kb.KV.Checksum != kr.KV.Checksum || kb.EndUS != kr.EndUS || kb.Faults != kr.Faults {
+			fail("kvstore replay", "same seed diverged: %#x/%.3f vs %#x/%.3f",
+				kr.KV.Checksum, kr.EndUS, kb.KV.Checksum, kb.EndUS)
+		} else {
+			identical("kvstore replay")
+		}
+	}
+
+	if jsonOut {
+		out, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(out))
+	}
 	if !ok {
 		fmt.Fprintf(&dump, "\nchaos: seed %d schedule %q rounds %d iters %d\n",
 			fc.Seed, chaosSpecName(arg), rounds, iters)
 		if err := os.WriteFile(chaosDumpFile, []byte(dump.String()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "sccbench: writing %s: %v\n", chaosDumpFile, err)
 		} else {
-			fmt.Printf("chaos: diagnostic dump written to %s\n", chaosDumpFile)
+			say("chaos: diagnostic dump written to %s\n", chaosDumpFile)
 		}
 		return 1
 	}
-	fmt.Println("chaos: all cells recovered; application results bit-exact")
+	say("chaos: all cells recovered; application results bit-exact\n")
 	return 0
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"metalsvm/internal/apps/kvstore"
 	"metalsvm/internal/apps/laplace"
 	"metalsvm/internal/apps/matmul"
 	"metalsvm/internal/apps/taskfarm"
@@ -176,6 +177,18 @@ func checkPerturbation(out io.Writer) bool {
 	// must also reproduce the plain run bit for bit.
 	f9, _ := bench.Fig9Chaos(cfg, svm.Strong, 2, &faults.Config{Seed: 3, NoHarden: true})
 	verdict("faults", p9, f9.US)
+
+	// The kvstore under full instrumentation must reproduce the plain run's
+	// audit checksum and end time. (KVReport holds slices, so compare the
+	// scalar fingerprint, not the struct.)
+	kp := kvstore.DefaultParams()
+	kp.Requests = 2000
+	ktopo := scc.Grid(4, 4, 1)
+	pk := bench.RunKV(kp, ktopo, nil, false)
+	okv := bench.RunKVObserved(kp, ktopo, nil, false, inst)
+	verdict("kvstore",
+		[2]any{pk.KV.Checksum, pk.EndUS},
+		[2]any{okv.KV.Checksum, okv.EndUS})
 	return ok
 }
 

@@ -63,7 +63,9 @@ func run() int {
 	check := flag.Bool("check", false, "run the happens-before race checker over every workload and exit non-zero on races")
 	sanitize := flag.Bool("sanitize", false, "run the sanitizer suite (shadow memory, locksets, lock-order graph) over every workload and exit non-zero on findings")
 	baseline := flag.Bool("baseline", false, "with -bench: require simulated results to match the committed BENCH_sim.json bit for bit")
-	chaos := flag.String("chaos", "", "run the chaos harness with `seed[,spec]`: representative cells under deterministic fault injection (specs: corrupt, crash, delays, drops, light, mixed; crash and mixed also run the replicated-directory failover cells)")
+	chaos := flag.String("chaos", "", "run the chaos harness with `seed[,spec]`: representative cells under deterministic fault injection (specs: corrupt, crash, delays, drops, light, mixed, partition; crash and mixed also run the replicated-directory failover cells; partition adds the link-outage cells)")
+	kvRequests := flag.Int("kv-requests", 20000, "with the kvstore command: total requests across all client cores")
+	kvSeed := flag.Uint64("kv-seed", 1, "with the kvstore command: workload seed (same seed replays bit-identically)")
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = one per host CPU, 1 = serial)")
 	intra := flag.Int("intra", 0, "host workers per single simulation (conservative-PDES wave dispatch; 0 or 1 = serial engine, results are bit-identical at any count)")
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile to `file`")
@@ -74,7 +76,8 @@ func run() int {
 	profileFlag := flag.Bool("profile", false, "run one representative instrumented cell of the chosen harness and print the simulated-time profile")
 	perfettoOut := flag.String("perfetto", "", "write the instrumented run as Chrome trace-event JSON to this `file` (Perfetto-loadable; 'all' adds a per-harness suffix)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sccbench [flags] fig6|fig7|table1|fig9|scale|ablation|all\n")
+		fmt.Fprintf(os.Stderr, "usage: sccbench [flags] fig6|fig7|table1|fig9|scale|ablation|kvstore|all\n")
+		fmt.Fprintf(os.Stderr, "       sccbench [-kv-requests N -kv-seed S] kvstore  (KV store SLO report under chaos)\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -chips N -grid WxHxC fig6|fig7|fig9|scale\n")
 		fmt.Fprintf(os.Stderr, "       sccbench [-chips N -grid WxHxC] -check\n")
 		fmt.Fprintf(os.Stderr, "       sccbench -sanitize\n")
@@ -133,7 +136,7 @@ func run() int {
 		return 0
 	}
 	if *chaos != "" {
-		return runChaos(*chaos, *rounds, *iters, topo)
+		return runChaos(*chaos, *rounds, *iters, topo, *jsonOut)
 	}
 	if *benchMode {
 		if topo != nil {
@@ -165,7 +168,7 @@ func run() int {
 	}
 	if topo != nil {
 		switch cmd {
-		case "fig6", "fig7", "fig9", "scale":
+		case "fig6", "fig7", "fig9", "scale", "kvstore":
 		default:
 			fmt.Fprintf(os.Stderr, "sccbench: %s is defined on the paper chip; use fig6|fig7|fig9|scale with -chips/-grid\n", cmd)
 			return 2
@@ -186,6 +189,10 @@ func run() int {
 		}
 	case "ablation":
 		ablation(n, res)
+	case "kvstore":
+		if !runKVStore(*kvRequests, *kvSeed, topo, res) && res == nil {
+			return 1
+		}
 	case "comm":
 		comm(*rounds, res)
 	case "all":
@@ -278,6 +285,7 @@ type results struct {
 	Scale    *bench.ScaleResult `json:"scale,omitempty"`
 	Ablation *ablationResults   `json:"ablation,omitempty"`
 	Comm     []bench.CommPoint  `json:"comm,omitempty"`
+	KVStore  *kvstoreResults    `json:"kvstore,omitempty"`
 }
 
 type table1Results struct {

@@ -1,0 +1,150 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"metalsvm/internal/metrics"
+)
+
+// Result is one run's combined outcome: outcome counts, robustness-path
+// activity, goodput-over-time, per-class latency histograms and the
+// end-of-run audit verdict. Every field is a pure function of (Params,
+// topology, fault schedule), so two same-seed runs compare bit-identically
+// via Checksum.
+type Result struct {
+	// Outcome taxonomy totals. Issued = Applied + Shed + Expired.
+	Issued, Applied, Shed, Expired uint64
+
+	// Robustness-path counters.
+	Timeouts, Retries, Failovers uint64
+	Hedged, DirectReads          uint64
+
+	// Server-side counters.
+	Handled, ServerApplied, ServerReads, ServerShed, Dedups uint64
+
+	// GoodputWindows counts applied requests per WindowUS of simulated
+	// time from the serving start.
+	GoodputWindows []uint64
+
+	// Latency histograms (nanoseconds, applied outcomes only).
+	LatGet, LatPut, LatHot metrics.Histogram
+
+	// AuditOK is the exactly-once verdict; AuditErrors carries the first
+	// few violations when it is false.
+	AuditOK     bool
+	AuditErrors []string
+
+	// Checksum folds outcomes, the audited memory image and the goodput
+	// curve into one replay-comparable word. AuditSum is the in-simulation
+	// checksum rank 0 computed from the final memory image alone.
+	Checksum uint64
+	AuditSum uint64
+
+	// Arrived counts ranks that ran to completion (a crashed server does
+	// not arrive); EndUS is the audit-completion time.
+	Arrived int
+	EndUS   float64
+}
+
+// maxAuditErrors bounds the error list in a failing report.
+const maxAuditErrors = 8
+
+// Result aggregates the per-rank records and audits the final memory image
+// against the per-key ledgers. It must run after the engine finished.
+func (a *App) Result() Result {
+	r := Result{AuditOK: true, AuditSum: a.auditSum, EndUS: a.endUS}
+	for i := range a.arrived {
+		if a.arrived[i] {
+			r.Arrived++
+		}
+	}
+	for i := range a.sv {
+		sv := &a.sv[i]
+		r.Handled += sv.Handled
+		r.ServerApplied += sv.Applied
+		r.ServerReads += sv.Reads
+		r.ServerShed += sv.Shed
+		r.Dedups += sv.Dedups
+	}
+	for i := range a.cl {
+		cl := &a.cl[i]
+		r.Issued += cl.Issued + cl.DirectReads
+		r.Applied += cl.Applied
+		r.Shed += cl.Shed
+		r.Expired += cl.Expired
+		r.Timeouts += cl.Timeouts
+		r.Retries += cl.Retries
+		r.Failovers += cl.Failovers
+		r.Hedged += cl.Hedged
+		r.DirectReads += cl.DirectReads
+		for w, n := range cl.windows {
+			for len(r.GoodputWindows) <= w {
+				r.GoodputWindows = append(r.GoodputWindows, 0)
+			}
+			r.GoodputWindows[w] += n
+		}
+		if cl.ReadErrors != 0 {
+			r.fail("client %d: %d self-check read errors", i, cl.ReadErrors)
+		}
+	}
+	r.LatGet, r.LatPut, r.LatHot = a.mergedHistograms()
+
+	if r.Issued != r.Applied+r.Shed+r.Expired {
+		r.fail("outcome taxonomy leak: %d issued != %d applied + %d shed + %d expired",
+			r.Issued, r.Applied, r.Shed, r.Expired)
+	}
+	a.auditMemory(&r)
+
+	// Fold everything observable into the replay checksum.
+	sum := mix64(r.Issued) ^ mix64(r.Applied+1) ^ mix64(r.Shed+2) ^ mix64(r.Expired+3) ^
+		mix64(r.Timeouts+4) ^ mix64(r.Failovers+5) ^ mix64(r.Hedged+6) ^ a.auditSum
+	for w, n := range r.GoodputWindows {
+		sum ^= mix64(uint64(w+7) * (n + 1))
+	}
+	sum ^= mix64(r.LatGet.Sum()) ^ mix64(r.LatPut.Sum()) ^ mix64(r.LatHot.Sum())
+	if !r.AuditOK {
+		sum = ^sum
+	}
+	r.Checksum = sum
+	return r
+}
+
+// fail appends one audit violation (bounded) and flips the verdict.
+func (r *Result) fail(format string, args ...interface{}) {
+	r.AuditOK = false
+	if len(r.AuditErrors) < maxAuditErrors {
+		r.AuditErrors = append(r.AuditErrors, fmt.Sprintf(format, args...))
+	}
+}
+
+// auditMemory checks the final memory image (rank 0's in-simulation slot
+// snapshot) against every client's per-key ledger: each slot must hold
+// exactly the last acknowledged put, or one of the timed-out "maybe
+// applied" sequences issued after it — anything else is a lost or
+// double-applied write.
+func (a *App) auditMemory(r *Result) {
+	if a.auditWords == nil {
+		r.fail("no audit snapshot (rank 0 did not finish)")
+		return
+	}
+	for ci := range a.cl {
+		cl := &a.cl[ci]
+		for ki, key := range cl.keys {
+			ka := &cl.audit[ki]
+			w := a.auditWords[key]
+			s := wordSeq(w)
+			if w != 0 && w != encode(key, s) {
+				r.fail("key %d: slot word %#x does not decode to its sequence %d", key, w, s)
+				continue
+			}
+			ok := s == ka.lastApplied
+			for _, m := range ka.maybes {
+				ok = ok || s == m
+			}
+			if !ok {
+				r.fail("key %d: slot sequence %d, want last applied %d or a maybe of %v",
+					key, s, ka.lastApplied, ka.maybes)
+			}
+		}
+	}
+}

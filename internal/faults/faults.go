@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"metalsvm/internal/sim"
 )
 
 // Route names a fault-injection site in the platform.
@@ -132,6 +134,25 @@ type Crash struct {
 	AfterDoneUS float64
 }
 
+// Partition is a timed full outage of the inter-chip link: every message
+// crossing a chip boundary inside [FromUS, ToUS) is dropped — mailbox
+// deposits, their retransmissions, and cross-chip interrupt deliveries.
+// At ToUS the link heals and the hardened protocols' retransmission timers
+// redeliver everything that was lost. Like crashes, partitions are
+// schedule-driven: the window check consumes no randomness, so adding one
+// never perturbs the probabilistic fault streams. A zero window (FromUS ==
+// ToUS == 0) is a marker for the chaos harness, which computes concrete
+// times from a calibration run; it never fires by itself.
+type Partition struct {
+	// FromUS is the start of the outage in absolute simulated microseconds.
+	FromUS float64
+	// ToUS is the heal time; the window is [FromUS, ToUS).
+	ToUS float64
+}
+
+// marker reports whether the partition is an unresolved harness marker.
+func (p Partition) marker() bool { return p.FromUS == 0 && p.ToUS == 0 }
+
 // Sentinel values for Crash.Core, resolved by the machine against its
 // replicated-directory role assignment. A sentinel crash with zero AtUS and
 // AfterDoneUS is a marker for the chaos harness (which computes concrete
@@ -156,11 +177,24 @@ type Spec struct {
 	StallCycles uint64
 	// Crashes is the permanent-crash schedule.
 	Crashes []Crash
+	// Partitions is the inter-chip link outage schedule.
+	Partitions []Partition
+}
+
+// HasPartitionMarker reports whether the spec carries unresolved partition
+// markers the chaos harness must replace with concrete windows.
+func (sp Spec) HasPartitionMarker() bool {
+	for _, p := range sp.Partitions {
+		if p.marker() {
+			return true
+		}
+	}
+	return false
 }
 
 // Enabled reports whether the spec can inject anything at all.
 func (sp Spec) Enabled() bool {
-	if sp.StallPermille != 0 || len(sp.Crashes) != 0 {
+	if sp.StallPermille != 0 || len(sp.Crashes) != 0 || len(sp.Partitions) != 0 {
 		return true
 	}
 	for _, rs := range sp.Routes {
@@ -199,15 +233,48 @@ type Stats struct {
 	Stalls uint64
 	// Crashes counts permanent core crashes that actually fired.
 	Crashes uint64
+	// PartitionDrops counts messages suppressed by a link partition window
+	// (also counted in Drops[Link], which is where they inject).
+	PartitionDrops uint64
 }
 
 // Injected returns the total number of injected faults of any kind.
+// PartitionDrops are not added separately — they already inject as
+// Drops[Link].
 func (s Stats) Injected() uint64 {
 	total := s.Stalls + s.Crashes
 	for r := 0; r < int(NumRoutes); r++ {
 		total += s.Drops[r] + s.Dups[r] + s.Delays[r] + s.Corruptions[r]
 	}
 	return total
+}
+
+// RouteStats is one route's injection record — the per-route breakdown the
+// chaos harness's JSON summary carries so CI can assert that a schedule
+// actually injected on every route it configures.
+type RouteStats struct {
+	Drops       uint64 `json:"drops"`
+	Dups        uint64 `json:"dups"`
+	Delays      uint64 `json:"delays"`
+	Corruptions uint64 `json:"corruptions"`
+}
+
+// PerRoute returns the per-route injection counts keyed by route name.
+func (s Stats) PerRoute() map[string]RouteStats {
+	m := make(map[string]RouteStats, NumRoutes)
+	for r := Route(0); r < NumRoutes; r++ {
+		rs := RouteStats{
+			Drops:       s.Drops[r],
+			Dups:        s.Dups[r],
+			Delays:      s.Delays[r],
+			Corruptions: s.Corruptions[r],
+		}
+		if rs == (RouteStats{}) {
+			continue // keep the JSON summary to routes that saw activity
+		}
+		m[r.String()] = rs
+	}
+	return m
 }
 
 // Injector draws fault decisions from a seeded deterministic stream. All
@@ -440,6 +507,35 @@ func (in *Injector) NoteCrash() {
 	in.stats.Crashes++
 }
 
+// LinkPartitioned reports whether the inter-chip link is inside a scheduled
+// partition outage at the given simulated time. Schedule-driven like
+// crashes: the window check consumes no randomness, so a spec without
+// partitions stays bit-identical whether or not the check runs. Nil-safe.
+func (in *Injector) LinkPartitioned(now sim.Time) bool {
+	if in == nil || len(in.cfg.Spec.Partitions) == 0 {
+		return false
+	}
+	us := now.Microseconds()
+	for _, p := range in.cfg.Spec.Partitions {
+		if !p.marker() && us >= p.FromUS && us < p.ToUS {
+			return true
+		}
+	}
+	return false
+}
+
+// NotePartitionDrop records a message suppressed by a link partition. The
+// drop injects on the Link route (so aggregate counters see it) and is
+// additionally tallied separately for the partition-specific reporting.
+// Nil-safe.
+func (in *Injector) NotePartitionDrop() {
+	if in == nil {
+		return
+	}
+	in.stats.Drops[Link]++
+	in.stats.PartitionDrops++
+}
+
 // StallCycles returns the length of an injected transient core stall (in
 // core cycles), or zero. Nil-safe.
 func (in *Injector) StallCycles() uint64 {
@@ -513,19 +609,29 @@ func presetSpecs() map[string]Spec {
 	link.Routes[Link] = RouteSpec{DelayPermille: 40, DelayCycles: 4000}
 	link.Routes[Mail] = RouteSpec{DropPermille: 10, DelayPermille: 10, DelayCycles: 2000}
 
+	// Inter-chip partition: a timed window of 100% loss on everything that
+	// crosses the link, healing afterwards. The marker window is resolved to
+	// concrete times by the chaos harness (from a calibration run); the mail
+	// trickle keeps the schedule observable on a single chip, where nothing
+	// ever crosses the link.
+	partition := Spec{}
+	partition.Partitions = []Partition{{}}
+	partition.Routes[Mail] = RouteSpec{DropPermille: 10, DelayPermille: 10, DelayCycles: 2000}
+
 	return map[string]Spec{
-		"light":   light,
-		"drops":   drops,
-		"corrupt": corrupt,
-		"delays":  delays,
-		"mixed":   mixed,
-		"crash":   crash,
-		"link":    link,
+		"light":     light,
+		"drops":     drops,
+		"corrupt":   corrupt,
+		"delays":    delays,
+		"mixed":     mixed,
+		"crash":     crash,
+		"link":      link,
+		"partition": partition,
 	}
 }
 
 // PresetSpec returns the named fault schedule. Names: light, drops,
-// corrupt, delays, mixed, crash, link.
+// corrupt, delays, mixed, crash, link, partition.
 func PresetSpec(name string) (Spec, bool) {
 	sp, ok := presetSpecs()[name]
 	return sp, ok

@@ -3,6 +3,8 @@ package faults
 import (
 	"reflect"
 	"testing"
+
+	"metalsvm/internal/sim"
 )
 
 // TestNilInjectorSafe: every decision method must be a no-op on nil.
@@ -253,5 +255,93 @@ func TestCrashSchedules(t *testing.T) {
 	}
 	if s.Decisions != 0 {
 		t.Fatalf("NoteCrash consumed %d random draws", s.Decisions)
+	}
+}
+
+// TestPartitionWindow: LinkPartitioned honors [FromUS, ToUS) windows, skips
+// markers, and the partition preset parses with a marker in place.
+func TestPartitionWindow(t *testing.T) {
+	var nilIn *Injector
+	if nilIn.LinkPartitioned(sim.Microseconds(1)) {
+		t.Fatal("nil injector partitioned")
+	}
+	nilIn.NotePartitionDrop() // must not panic
+
+	sp := Spec{}
+	sp.Partitions = []Partition{{FromUS: 100, ToUS: 200}}
+	if !sp.Enabled() {
+		t.Fatal("spec with a partition reports disabled")
+	}
+	if sp.HasPartitionMarker() {
+		t.Fatal("concrete window reported as marker")
+	}
+	in := NewInjector(Config{Seed: 1, Spec: sp})
+	for _, tc := range []struct {
+		us   float64
+		want bool
+	}{
+		{0, false}, {99.9, false}, {100, true}, {150, true},
+		{199.9, true}, {200, false}, {1000, false},
+	} {
+		if got := in.LinkPartitioned(sim.Microseconds(tc.us)); got != tc.want {
+			t.Errorf("LinkPartitioned(%vus) = %v, want %v", tc.us, got, tc.want)
+		}
+	}
+	in.NotePartitionDrop()
+	in.NotePartitionDrop()
+	if s := in.Stats(); s.PartitionDrops != 2 || s.Drops[Link] != 2 {
+		t.Fatalf("partition drops not counted: %+v", s)
+	}
+	if in.Stats().Injected() == 0 {
+		t.Fatal("partition drops invisible to Injected()")
+	}
+
+	// A marker window ({0,0}) never matches any time, even t=0.
+	mk := Spec{}
+	mk.Partitions = []Partition{{}}
+	if !mk.HasPartitionMarker() {
+		t.Fatal("marker not detected")
+	}
+	mkIn := NewInjector(Config{Seed: 1, Spec: mk})
+	if mkIn.LinkPartitioned(0) || mkIn.LinkPartitioned(sim.Microseconds(5)) {
+		t.Fatal("marker window matched a time")
+	}
+
+	// The preset ships a marker plus a mail trickle and must parse.
+	cfg, err := ParseConfig("7,partition")
+	if err != nil {
+		t.Fatalf("partition preset parse: %v", err)
+	}
+	if !cfg.Spec.HasPartitionMarker() {
+		t.Fatal("partition preset lacks marker window")
+	}
+	if cfg.Spec.Routes[Mail].DropPermille == 0 {
+		t.Fatal("partition preset lacks mail trickle")
+	}
+}
+
+// TestPerRouteStats: Stats.PerRoute exposes only routes with activity, keyed
+// by route name.
+func TestPerRouteStats(t *testing.T) {
+	var s Stats
+	s.Drops[Mail] = 3
+	s.Dups[Mail] = 1
+	s.Delays[Link] = 5
+	s.Corruptions[DDR] = 2
+	per := s.PerRoute()
+	if len(per) != 3 {
+		t.Fatalf("PerRoute has %d routes, want 3: %+v", len(per), per)
+	}
+	if r := per[Mail.String()]; r.Drops != 3 || r.Dups != 1 {
+		t.Fatalf("mail route stats wrong: %+v", r)
+	}
+	if r := per[Link.String()]; r.Delays != 5 {
+		t.Fatalf("link route stats wrong: %+v", r)
+	}
+	if r := per[DDR.String()]; r.Corruptions != 2 {
+		t.Fatalf("ddr route stats wrong: %+v", r)
+	}
+	if _, ok := per[IPI.String()]; ok {
+		t.Fatal("idle route present in PerRoute")
 	}
 }

@@ -616,6 +616,12 @@ func (k *Kernel) WaitUntil(cond func() bool, deadline sim.Time) bool {
 				continue
 			}
 		}
+		// The rescue scan charges cycles per slot probe, so it can carry the
+		// local clock past the deadline; parking then would schedule a wake
+		// in the past. Recheck before parking.
+		if k.core.Proc().LocalTime() >= deadline {
+			return false
+		}
 		// Park with the deadline as a wake-up (bounded by the rescue period
 		// when hardened, like WaitFor), so the timeout is always observed.
 		at := deadline

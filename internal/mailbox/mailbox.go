@@ -438,6 +438,16 @@ func (s *System) deposit(from, to, off int, line *[phys.CacheLine]byte) {
 	inj := s.chip.FaultInjector()
 	core := s.chip.Core(from)
 	tr := s.chip.Tracer()
+	if !s.chip.SameChip(from, to) && inj.LinkPartitioned(core.Proc().LocalTime()) {
+		// The inter-chip link is partitioned: the frame cannot cross. The
+		// sender pays the access; the retransmission timer redelivers after
+		// the heal.
+		inj.NotePartitionDrop()
+		tr.Emit(core.Proc().LocalTime(), from, trace.KindFaultInject,
+			uint64(faults.Link), uint64(faults.Drop))
+		s.chip.MPBCharge(from, to)
+		return
+	}
 	if cyc := inj.DelayCycles(faults.Mail); cyc != 0 {
 		tr.Emit(core.Proc().LocalTime(), from, trace.KindFaultInject,
 			uint64(faults.Mail), uint64(faults.Delay))
@@ -463,6 +473,10 @@ func (s *System) deposit(from, to, off int, line *[phys.CacheLine]byte) {
 			// The stale copy lands only if the slot is free by then; the
 			// hardened receiver discards it by sequence number, the plain
 			// one consumes it as a fresh (wrong) mail.
+			if !s.chip.SameChip(from, to) && inj.LinkPartitioned(at) {
+				inj.NotePartitionDrop()
+				return
+			}
 			if s.chip.MPB().Byte(to, off) != 0 {
 				return
 			}
@@ -524,6 +538,17 @@ func (s *System) armRetx(from, to int, seq uint16, start sim.Time) {
 			// mail; the sender's next send to this pair starts fresh.
 			pend.active = false
 			s.stats.DeadDrops++
+			return
+		}
+		if inj := s.chip.FaultInjector(); !s.chip.SameChip(from, to) && inj.LinkPartitioned(at) {
+			// The link is partitioned: nothing crosses until it heals. Keep
+			// the timer armed so a retransmission lands after the heal —
+			// retiring here (even on an intact remote frame) could strand a
+			// receiver whose every notification fell inside the window.
+			inj.NotePartitionDrop()
+			s.chip.Tracer().Emit(at, from, trace.KindFaultInject,
+				uint64(faults.Link), uint64(faults.Drop))
+			rearm(at)
 			return
 		}
 		var line [phys.CacheLine]byte

@@ -77,10 +77,18 @@ func (g *Gauge) Max() int64 {
 	return g.max
 }
 
+// SubBuckets is the number of linear sub-buckets inside each power-of-two
+// histogram bucket. Sixteen sub-buckets bound a quantile estimate's relative
+// error by 1/16 ≈ 6%, which is enough to tell a p99 from a p999.
+const SubBuckets = 16
+
 // Histogram accumulates a distribution of uint64 samples in power-of-two
-// buckets (bucket i counts samples with bit length i).
+// buckets (bucket i counts samples with bit length i), each subdivided into
+// SubBuckets linear sub-buckets so quantiles can be extracted with bounded
+// relative error.
 type Histogram struct {
 	counts   [65]uint64
+	sub      [65][SubBuckets]uint64
 	n        uint64
 	sum      uint64
 	min, max uint64
@@ -95,6 +103,31 @@ func bitLen(v uint64) int {
 	return n
 }
 
+// bucketLow returns the smallest value in power-of-two bucket b.
+func bucketLow(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return 1 << (b - 1)
+}
+
+// bucketWidth returns the number of distinct values in bucket b.
+func bucketWidth(b int) uint64 {
+	if b <= 1 {
+		return 1 // bucket 0 holds only 0, bucket 1 only 1
+	}
+	return 1 << (b - 1) // [2^(b-1), 2^b) spans 2^(b-1) values
+}
+
+// subIndex maps a value to its linear sub-bucket within bucket b.
+func subIndex(v uint64, b int) int {
+	low, width := bucketLow(b), bucketWidth(b)
+	if width <= SubBuckets {
+		return int(v - low)
+	}
+	return int((v - low) / (width / SubBuckets))
+}
+
 // Observe records one sample; nil-safe.
 func (h *Histogram) Observe(v uint64) { h.ObserveN(v, 1) }
 
@@ -104,7 +137,9 @@ func (h *Histogram) ObserveN(v, n uint64) {
 	if h == nil || n == 0 {
 		return
 	}
-	h.counts[bitLen(v)] += n
+	b := bitLen(v)
+	h.counts[b] += n
+	h.sub[b][subIndex(v, b)] += n
 	if h.n == 0 || v < h.min {
 		h.min = v
 	}
@@ -113,6 +148,90 @@ func (h *Histogram) ObserveN(v, n uint64) {
 	}
 	h.n += n
 	h.sum += v * n
+}
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) of the observed
+// samples, interpolated within the matching linear sub-bucket and clamped to
+// the exact observed [min, max]. The relative error is bounded by the
+// sub-bucket width (≈6%). An empty or nil histogram reads as zero.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	return quantile(&h.counts, &h.sub, h.n, h.min, h.max, q)
+}
+
+// quantile is the shared nearest-rank-with-interpolation walk used by both
+// the live histogram and its snapshot point.
+func quantile(counts *[65]uint64, sub *[65][SubBuckets]uint64, n, min, max uint64, q float64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return min
+	}
+	if q >= 1 {
+		return max
+	}
+	rank := uint64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var cum uint64
+	for b := 0; b < 65; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		low, width := bucketLow(b), bucketWidth(b)
+		subWidth := width / SubBuckets
+		if subWidth == 0 {
+			subWidth = 1
+		}
+		for s := 0; s < SubBuckets; s++ {
+			c := sub[b][s]
+			if c == 0 {
+				continue
+			}
+			if cum+c > rank {
+				// The rank lands in this sub-bucket: interpolate the
+				// position of the rank within it.
+				sLow := low + uint64(s)*subWidth
+				frac := float64(rank-cum) / float64(c)
+				v := sLow + uint64(frac*float64(subWidth))
+				if v < min {
+					v = min
+				}
+				if v > max {
+					v = max
+				}
+				return v
+			}
+			cum += c
+		}
+	}
+	return max
+}
+
+// Merge folds another histogram's samples into h (combining per-worker
+// host-side histograms after a run); nil receivers and arguments are no-ops.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || o.n == 0 {
+		return
+	}
+	for b := 0; b < 65; b++ {
+		h.counts[b] += o.counts[b]
+		for s := 0; s < SubBuckets; s++ {
+			h.sub[b][s] += o.sub[b][s]
+		}
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
 }
 
 // Count returns the number of samples; nil reads as zero.
@@ -196,6 +315,9 @@ type HistogramPoint struct {
 	Count, Sum     uint64
 	Min, Max       uint64
 	CountsByBitLen [65]uint64
+	// SubCounts subdivides each power-of-two bucket into SubBuckets linear
+	// sub-buckets — the precision behind Quantile.
+	SubCounts [65][SubBuckets]uint64
 }
 
 // Mean returns the sample mean (zero for an empty histogram).
@@ -205,6 +327,17 @@ func (h HistogramPoint) Mean() float64 {
 	}
 	return float64(h.Sum) / float64(h.Count)
 }
+
+// Quantile returns an estimate of the q-quantile of the snapshotted
+// distribution (see Histogram.Quantile).
+func (h HistogramPoint) Quantile(q float64) uint64 {
+	return quantile(&h.CountsByBitLen, &h.SubCounts, h.Count, h.Min, h.Max, q)
+}
+
+// P50, P99 and P999 are the SLO-report quantiles.
+func (h HistogramPoint) P50() uint64  { return h.Quantile(0.50) }
+func (h HistogramPoint) P99() uint64  { return h.Quantile(0.99) }
+func (h HistogramPoint) P999() uint64 { return h.Quantile(0.999) }
 
 // Snapshot is an immutable, name-sorted view of a registry.
 type Snapshot struct {
@@ -231,7 +364,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	for name, h := range r.histograms {
 		s.Histograms = append(s.Histograms, HistogramPoint{
 			Name: name, Count: h.n, Sum: h.sum, Min: h.min, Max: h.max,
-			CountsByBitLen: h.counts,
+			CountsByBitLen: h.counts, SubCounts: h.sub,
 		})
 	}
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
@@ -274,7 +407,7 @@ func (s *Snapshot) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "%-*s %12d (max %d)\n", width, g.Name, g.Value, g.Max)
 	}
 	for _, h := range s.Histograms {
-		fmt.Fprintf(w, "%-*s %12d samples, mean %.2f, min %d, max %d\n",
-			width, h.Name, h.Count, h.Mean(), h.Min, h.Max)
+		fmt.Fprintf(w, "%-*s %12d samples, mean %.2f, min %d, max %d, p50 %d, p99 %d, p999 %d\n",
+			width, h.Name, h.Count, h.Mean(), h.Min, h.Max, h.P50(), h.P99(), h.P999())
 	}
 }

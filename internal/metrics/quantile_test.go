@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// relClose reports whether got is within tol relative error of want
+// (absolute slack of one for tiny values, where a sub-bucket spans one).
+func relClose(got, want uint64, tol float64) bool {
+	if want == 0 {
+		return got <= 1
+	}
+	diff := math.Abs(float64(got) - float64(want))
+	return diff <= tol*float64(want)+1
+}
+
+func TestQuantileUniform(t *testing.T) {
+	// Uniform over [1, 100000]: the q-quantile of the population is
+	// q*100000.
+	var h Histogram
+	for v := uint64(1); v <= 100000; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want uint64
+	}{
+		{0.50, 50000},
+		{0.90, 90000},
+		{0.99, 99000},
+		{0.999, 99900},
+	} {
+		got := h.Quantile(tc.q)
+		if !relClose(got, tc.want, 0.07) {
+			t.Errorf("uniform q=%v: got %d, want ~%d", tc.q, got, tc.want)
+		}
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 100000 {
+		t.Errorf("extremes: q0=%d q1=%d, want exact min/max", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestQuantileExponential(t *testing.T) {
+	// Exponential with mean 1000, sampled by inverse CDF at evenly spaced
+	// probabilities (a deterministic stand-in for random draws): the
+	// q-quantile is -mean*ln(1-q).
+	var h Histogram
+	const n = 200000
+	const mean = 1000.0
+	for i := 0; i < n; i++ {
+		u := (float64(i) + 0.5) / n
+		h.Observe(uint64(-mean * math.Log(1-u)))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := uint64(-mean * math.Log(1-q))
+		got := h.Quantile(q)
+		if !relClose(got, want, 0.08) {
+			t.Errorf("exponential q=%v: got %d, want ~%d", q, got, want)
+		}
+	}
+}
+
+func TestQuantileConstantAndSmall(t *testing.T) {
+	var h Histogram
+	h.ObserveN(42, 3)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("constant q=%v: got %d, want 42", q, got)
+		}
+	}
+
+	var e Histogram
+	if e.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile != 0")
+	}
+}
+
+func TestQuantileBimodal(t *testing.T) {
+	// 90% of samples at ~100, 10% at ~1000000: p50 must sit in the low
+	// mode, p99 in the high one.
+	var h Histogram
+	h.ObserveN(100, 9000)
+	h.ObserveN(1000000, 1000)
+	if got := h.Quantile(0.5); !relClose(got, 100, 0.07) {
+		t.Errorf("bimodal p50 = %d, want ~100", got)
+	}
+	if got := h.Quantile(0.99); !relClose(got, 1000000, 0.07) {
+		t.Errorf("bimodal p99 = %d, want ~1000000", got)
+	}
+}
+
+func TestQuantileSnapshotMatchesLive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for v := uint64(1); v <= 5000; v++ {
+		h.Observe(v * 3)
+	}
+	p := r.Snapshot().Histograms[0]
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if p.Quantile(q) != h.Quantile(q) {
+			t.Errorf("q=%v: snapshot %d != live %d", q, p.Quantile(q), h.Quantile(q))
+		}
+	}
+	if p.P50() != p.Quantile(0.5) || p.P99() != p.Quantile(0.99) || p.P999() != p.Quantile(0.999) {
+		t.Error("P50/P99/P999 helpers disagree with Quantile")
+	}
+}
+
+func TestSubIndexCoversBuckets(t *testing.T) {
+	// Every representable value must land in a valid sub-bucket of its
+	// power-of-two bucket.
+	for _, v := range []uint64{0, 1, 2, 3, 15, 16, 17, 255, 1 << 20, 1<<20 + 12345, math.MaxUint64} {
+		b := bitLen(v)
+		s := subIndex(v, b)
+		if s < 0 || s >= SubBuckets {
+			t.Errorf("v=%d: sub index %d out of range", v, s)
+		}
+		low, width := bucketLow(b), bucketWidth(b)
+		if v < low || (b < 64 && v >= low+width) {
+			t.Errorf("v=%d: outside bucket %d range [%d, %d)", v, b, low, low+width)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		a.Observe(v)
+		all.Observe(v)
+	}
+	for v := uint64(5000); v <= 9000; v++ {
+		b.Observe(v)
+		all.Observe(v)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() {
+		t.Fatalf("merge count/sum: %d/%d vs %d/%d", a.Count(), a.Sum(), all.Count(), all.Sum())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("q=%v: merged %d != direct %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	var nilH *Histogram
+	nilH.Merge(&a) // no-op, must not panic
+	a.Merge(nil)
+	if a.Count() != all.Count() {
+		t.Error("nil merge changed counts")
+	}
+}

@@ -273,6 +273,12 @@ func (ch *Chip) RaiseIPI(from, to int) {
 	if !ch.SameChip(from, to) {
 		// The interrupt crosses to the target chip's GIC over the link; it
 		// can be lost or delayed there independently of the IPI route.
+		if ch.faults.LinkPartitioned(c.Now()) {
+			ch.faults.NotePartitionDrop()
+			ch.tracer.Emit(c.Now(), from, trace.KindFaultInject,
+				uint64(faults.Link), uint64(faults.Drop))
+			return
+		}
 		if ch.faults.Drop(faults.Link) {
 			ch.tracer.Emit(c.Now(), from, trace.KindFaultInject,
 				uint64(faults.Link), uint64(faults.Drop))
@@ -299,6 +305,13 @@ func (ch *Chip) RaiseIPI(from, to int) {
 // timer-driven recovery path, so it charges no core time and is itself
 // fault-free.
 func (ch *Chip) NudgeIPI(from, to int) {
+	if !ch.SameChip(from, to) && ch.faults.LinkPartitioned(ch.eng.Now()) {
+		// A cross-chip re-notify during a link partition is lost like any
+		// other link crossing; the retransmission timer stays armed and
+		// re-nudges after the heal.
+		ch.faults.NotePartitionDrop()
+		return
+	}
 	ch.meshStats[from].IPIs++
 	ch.countHops(from, ch.gicHops(from)+ch.gicHops(to))
 	deliver := ch.cfg.Mesh.Clock.Cycles(ch.cfg.Lat.GICCycles) +
